@@ -1,0 +1,461 @@
+(* Reproduction harness for every table and figure in the paper's
+   evaluation (Section 6), plus micro-benchmarks and design ablations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe fig4 table1     # selected sections
+
+   Environment:
+     HEALER_BENCH_ROUNDS  rounds per experiment (default 5; paper: 10)
+     HEALER_BENCH_HOURS   virtual hours per campaign (default 24)
+     HEALER_BENCH_EXT     virtual hours of the extended per-version
+                          campaign behind Table 5 (default 96)
+
+   Absolute numbers differ from the paper (the kernel is a simulator on
+   a virtual clock); the comparisons are the reproduction target. *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module K = Healer_kernel
+open Healer_core
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let rounds = env_int "HEALER_BENCH_ROUNDS" 5
+let hours = env_float "HEALER_BENCH_HOURS" 24.0
+let ext_hours = env_float "HEALER_BENCH_EXT" 96.0
+
+let versions = K.Version.evaluated
+let tools = Fuzzer.all_tools
+
+let section name =
+  Fmt.pr "@.=====================================================@.";
+  Fmt.pr "  %s@." name;
+  Fmt.pr "=====================================================@."
+
+(* ---- memoized campaign matrix ---- *)
+
+let cache : (string, Campaign.run) Hashtbl.t = Hashtbl.create 64
+
+let key tool version seed h =
+  Printf.sprintf "%s/%s/%d/%.1f" (Fuzzer.tool_name tool)
+    (K.Version.to_string version) seed h
+
+let campaign ?(h = hours) tool version seed =
+  let k = key tool version seed h in
+  match Hashtbl.find_opt cache k with
+  | Some r -> r
+  | None ->
+    let r = Campaign.run_one ~hours:h ~seed ~tool ~version () in
+    Hashtbl.replace cache k r;
+    r
+
+let runs_of ?(h = hours) tool version =
+  List.init rounds (fun i -> campaign ~h tool version (i + 1))
+
+(* ---- Figure 4: coverage growth over 24 hours ---- *)
+
+let fig4 () =
+  section "Figure 4: branch coverage growth over the campaign";
+  List.iter
+    (fun version ->
+      Fmt.pr "@.Linux %s (avg of %d rounds)@." (K.Version.to_string version) rounds;
+      Fmt.pr "  %6s %10s %10s %10s@." "hour" "healer" "syzkaller" "moonshine";
+      let series tool = Campaign.average_series (runs_of tool version) in
+      let h_series = series Fuzzer.Healer in
+      let s_series = series Fuzzer.Syzkaller in
+      let m_series = series Fuzzer.Moonshine in
+      let at series t =
+        let rec go acc = function
+          | [] -> acc
+          | (t', v) :: rest -> if t' <= t then go v rest else acc
+        in
+        go 0.0 series
+      in
+      let steps = int_of_float (hours /. 2.0) in
+      for step = 1 to steps do
+        let t = float_of_int step *. 2.0 *. 3600.0 in
+        Fmt.pr "  %6.0f %10.0f %10.0f %10.0f@." (t /. 3600.0) (at h_series t)
+          (at s_series t) (at m_series t)
+      done;
+      let arr series = Array.of_list (List.map snd series) in
+      Fmt.pr "@.%s@."
+        (Healer_util.Asciichart.render
+           ~series:
+             [ ("healer", arr h_series); ("syzkaller", arr s_series);
+               ("moonshine", arr m_series) ]
+           ()))
+    versions
+
+(* ---- Tables 1 and 2: improvement + speedup ---- *)
+
+let comparison_row version ~subject ~base =
+  let pairs =
+    List.init rounds (fun i ->
+        let seed = i + 1 in
+        (campaign base version seed, campaign subject version seed))
+  in
+  let imprs = List.map (fun (b, s) -> Campaign.improvement_pct ~base:b s) pairs in
+  let speedups = List.filter_map (fun (b, s) -> Campaign.speedup ~base:b s) pairs in
+  (imprs, speedups)
+
+let print_comparison title ~subject ~base =
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "  %-8s %9s %9s %9s %9s@." "Version" "min-impr" "max-impr" "Average"
+    "Speed-up";
+  let all_imprs = ref [] and all_speedups = ref [] in
+  List.iter
+    (fun version ->
+      let imprs, speedups = comparison_row version ~subject ~base in
+      all_imprs := imprs @ !all_imprs;
+      all_speedups := speedups @ !all_speedups;
+      Fmt.pr "  %-8s %+8.0f%% %+8.0f%% %+8.0f%% %8s@."
+        (K.Version.to_string version)
+        (Healer_util.Statx.minimum imprs)
+        (Healer_util.Statx.maximum imprs)
+        (Healer_util.Statx.mean imprs)
+        (if speedups = [] then "n/a"
+         else Printf.sprintf "+%.1fx" (Healer_util.Statx.mean speedups)))
+    versions;
+  Fmt.pr "  %-8s %+8.0f%% %+8.0f%% %+8.0f%% %8s@." "Overall"
+    (Healer_util.Statx.minimum !all_imprs)
+    (Healer_util.Statx.maximum !all_imprs)
+    (Healer_util.Statx.mean !all_imprs)
+    (if !all_speedups = [] then "n/a"
+     else Printf.sprintf "+%.1fx" (Healer_util.Statx.mean !all_speedups))
+
+let table1 () =
+  section "Table 1: branch coverage of HEALER vs Syzkaller / Moonshine";
+  print_comparison "(a) HEALER vs. Syzkaller" ~subject:Fuzzer.Healer
+    ~base:Fuzzer.Syzkaller;
+  print_comparison "(b) HEALER vs. Moonshine" ~subject:Fuzzer.Healer
+    ~base:Fuzzer.Moonshine
+
+let table2 () =
+  section "Table 2: HEALER vs HEALER- (relation learning ablation)";
+  print_comparison "HEALER vs. HEALER-" ~subject:Fuzzer.Healer
+    ~base:Fuzzer.Healer_minus
+
+(* ---- Table 3: learned relation counts ---- *)
+
+let table3 () =
+  section "Table 3: HEALER's learned relations count";
+  Fmt.pr "  %-8s %8s %8s %8s@." "Version" "Min" "Max" "Average";
+  let overall = ref [] in
+  List.iter
+    (fun version ->
+      let counts =
+        List.map
+          (fun (r : Campaign.run) -> float_of_int r.Campaign.relations)
+          (runs_of Fuzzer.Healer version)
+      in
+      overall := counts @ !overall;
+      Fmt.pr "  %-8s %8.0f %8.0f %8.0f@." (K.Version.to_string version)
+        (Healer_util.Statx.minimum counts)
+        (Healer_util.Statx.maximum counts)
+        (Healer_util.Statx.mean counts))
+    versions;
+  Fmt.pr "  %-8s %8.0f %8.0f %8.0f@." "Overall"
+    (Healer_util.Statx.minimum !overall)
+    (Healer_util.Statx.maximum !overall)
+    (Healer_util.Statx.mean !overall)
+
+(* ---- Figure 5: relation graph evolution over the first 3 hours ---- *)
+
+let fig5 () =
+  section "Figure 5: evolution of the learned relations (first 3 hours)";
+  let run = campaign Fuzzer.Healer K.Version.V5_11 1 in
+  let target = K.Kernel.target () in
+  let static = Static_learning.initial_table target in
+  List.iter
+    (fun (t, edges) ->
+      let nodes =
+        List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+      in
+      let dynamic =
+        List.filter (fun (a, b) -> not (Relation_table.get static a b)) edges
+      in
+      let kvm_edges =
+        List.filter
+          (fun (a, b) ->
+            K.Kernel.subsystem_of (Target.syscall target a).Syscall.name = "kvm"
+            && K.Kernel.subsystem_of (Target.syscall target b).Syscall.name = "kvm")
+          edges
+      in
+      Fmt.pr "@.t = %.0fh: %d relations, %d calls involved, %d learned dynamically@."
+        (t /. 3600.0) (List.length edges) (List.length nodes) (List.length dynamic);
+      Fmt.pr "  KVM subgraph (%d edges):@." (List.length kvm_edges);
+      List.iter
+        (fun (a, b) ->
+          Fmt.pr "    %-34s -> %s@."
+            (Target.syscall target a).Syscall.name
+            (Target.syscall target b).Syscall.name)
+        kvm_edges)
+    run.Campaign.relation_snapshots
+
+(* ---- Figure 6: minimized sequence length distribution ---- *)
+
+let fig6 () =
+  section "Figure 6: distribution of minimized sequence lengths in the corpus";
+  let hist lengths =
+    let total = max 1 (List.length lengths) in
+    let bucket pred = float_of_int (List.length (List.filter pred lengths))
+                      /. float_of_int total in
+    [ bucket (fun l -> l = 1); bucket (fun l -> l = 2); bucket (fun l -> l = 3);
+      bucket (fun l -> l = 4); bucket (fun l -> l >= 5) ]
+  in
+  Fmt.pr "  %-10s %8s | %6s %6s %6s %6s %6s | %7s %7s@." "tool" "corpus" "len1"
+    "len2" "len3" "len4" "len5+" ">=3" ">=5";
+  List.iter
+    (fun tool ->
+      let runs = List.concat_map (fun v -> runs_of tool v) versions in
+      let lengths = List.concat_map (fun (r : Campaign.run) -> r.Campaign.corpus_lengths) runs in
+      let sizes =
+        Healer_util.Statx.mean
+          (List.map (fun (r : Campaign.run) -> float_of_int r.Campaign.corpus_size) runs)
+      in
+      let h = hist lengths in
+      let frac pred =
+        float_of_int (List.length (List.filter pred lengths))
+        /. float_of_int (max 1 (List.length lengths))
+      in
+      Fmt.pr "  %-10s %8.0f | %6.2f %6.2f %6.2f %6.2f %6.2f | %6.0f%% %6.0f%%@."
+        (Fuzzer.tool_name tool) sizes (List.nth h 0) (List.nth h 1) (List.nth h 2)
+        (List.nth h 3) (List.nth h 4)
+        (100.0 *. frac (fun l -> l >= 3))
+        (100.0 *. frac (fun l -> l >= 5)))
+    tools
+
+(* ---- Table 4 + Section 6.3: 24h bug detection ---- *)
+
+let found_keys tool =
+  List.concat_map
+    (fun version ->
+      List.concat_map
+        (fun (r : Campaign.run) ->
+          List.map (fun (c : Triage.record) -> c.Triage.bug_key) r.Campaign.crashes)
+        (runs_of tool version))
+    versions
+  |> List.sort_uniq String.compare
+
+let known_only keys =
+  List.filter
+    (fun k -> match K.Bug.find k with Some b -> b.K.Bug.known | None -> false)
+    keys
+
+let table4 () =
+  section "Table 4 / Section 6.3: vulnerabilities in the 24h experiments";
+  let per_tool = List.map (fun tool -> (tool, found_keys tool)) tools in
+  Fmt.pr "@.Previously-known vulnerabilities found (paper: HEALER 32, Moonshine 20, Syzkaller 17, HEALER- 10):@.";
+  List.iter
+    (fun (tool, keys) ->
+      Fmt.pr "  %-10s %d known (+%d previously unknown)@." (Fuzzer.tool_name tool)
+        (List.length (known_only keys))
+        (List.length keys - List.length (known_only keys)))
+    per_tool;
+  let healer_keys = List.assoc Fuzzer.Healer per_tool in
+  let others =
+    List.concat_map
+      (fun tool -> if tool = Fuzzer.Healer then [] else List.assoc tool per_tool)
+      tools
+    |> List.sort_uniq String.compare
+  in
+  let missed_by_healer = List.filter (fun k -> not (List.mem k healer_keys)) others in
+  Fmt.pr "@.Bugs found by baselines but not HEALER (paper: 3, all needing USB emulation):@.";
+  List.iter
+    (fun k ->
+      let req =
+        match K.Bug.find k with
+        | Some { K.Bug.requires = Some f; _ } -> " [requires executor feature: " ^ f ^ "]"
+        | _ -> ""
+      in
+      Fmt.pr "  %s%s@." k req)
+    missed_by_healer;
+  (* The Table 4 body: previously-known bugs only HEALER found, with
+     the measured reproducer length. *)
+  let healer_only =
+    List.filter (fun k -> not (List.mem k others)) (known_only healer_keys)
+  in
+  Fmt.pr "@.Previously-known bugs found only by HEALER (paper's Table 4):@.";
+  Fmt.pr "  %-48s %-8s %s@." "Vulnerability" "Version" "Length";
+  List.iter
+    (fun k ->
+      let b = K.Bug.find_exn k in
+      let lengths =
+        List.concat_map
+          (fun version ->
+            List.filter_map
+              (fun (r : Campaign.run) ->
+                List.find_map
+                  (fun (c : Triage.record) ->
+                    if c.Triage.bug_key = k then Some c.Triage.repro_len else None)
+                  r.Campaign.crashes)
+              (runs_of Fuzzer.Healer version))
+          versions
+      in
+      let length = match lengths with [] -> 0 | l -> List.fold_left min 99 l in
+      Fmt.pr "  %-48s %-8s %d@." b.K.Bug.title
+        (K.Version.to_string b.K.Bug.since)
+        length)
+    healer_only
+
+(* ---- Table 5: the extended multi-version campaign ---- *)
+
+let table5 () =
+  section "Table 5: previously unknown vulnerabilities (extended campaign)";
+  Fmt.pr "  (HEALER on every kernel version, %.0f virtual hours each)@.@."
+    ext_hours;
+  let ext_rounds = max 1 (rounds / 2) in
+  let found =
+    List.concat_map
+      (fun version ->
+        List.concat_map
+          (fun seed ->
+            let run = campaign ~h:ext_hours Fuzzer.Healer version seed in
+            List.map (fun (c : Triage.record) -> c.Triage.bug_key) run.Campaign.crashes)
+          (List.init ext_rounds (fun i -> i + 1)))
+      K.Version.all
+    |> List.sort_uniq String.compare
+  in
+  let unknown = K.Bug.unknown_bugs () in
+  let hit = List.filter (fun (b : K.Bug.t) -> List.mem b.K.Bug.key found) unknown in
+  Fmt.pr "  found %d of the %d previously-unknown vulnerabilities:@.@."
+    (List.length hit) (List.length unknown);
+  Fmt.pr "  %-10s %-58s %-26s %s@." "Subsystem" "Operations" "Risk" "Version";
+  List.iter
+    (fun (b : K.Bug.t) ->
+      let mark = if List.mem b.K.Bug.key found then " " else "*" in
+      Fmt.pr "  %-10s %-58s %-26s %-5s %s@." b.K.Bug.subsystem b.K.Bug.operations
+        (K.Risk.to_string b.K.Bug.risk)
+        (K.Version.to_string b.K.Bug.since)
+        mark)
+    unknown;
+  Fmt.pr "@.  (* = not reproduced in this run)@.";
+  (* Risk-class profile, Section 6.3. *)
+  let risks = List.map (fun (b : K.Bug.t) -> b.K.Bug.risk) hit in
+  let frac pred =
+    100.0
+    *. float_of_int (List.length (List.filter pred risks))
+    /. float_of_int (max 1 (List.length risks))
+  in
+  Fmt.pr "@.  risk profile of found bugs: %.1f%% memory errors, %.1f%% concurrency, %.1f%% other@."
+    (frac K.Risk.is_memory_error)
+    (frac K.Risk.is_concurrency)
+    (frac (fun r -> not (K.Risk.is_memory_error r || K.Risk.is_concurrency r)))
+
+(* ---- ablations over the design decisions (DESIGN.md section 4) ---- *)
+
+let ablation () =
+  section "Ablations: alpha policy, static/dynamic learning";
+  let run name cfg =
+    let f = Fuzzer.create cfg in
+    Fuzzer.run_until f (hours *. 3600.0);
+    Fmt.pr "  %-34s coverage=%5d relations=%4d alpha=%.2f@." name
+      (Fuzzer.coverage f) (Fuzzer.relation_count f) (Fuzzer.alpha_value f)
+  in
+  let base ?fixed_alpha ?(static = true) ?(dynamic = true) () =
+    Fuzzer.config ~seed:1 ?fixed_alpha ~use_static_learning:static
+      ~use_dynamic_learning:dynamic ~tool:Fuzzer.Healer ~version:K.Version.V5_11
+      ()
+  in
+  run "adaptive alpha (paper)" (base ());
+  List.iter
+    (fun a -> run (Printf.sprintf "fixed alpha = %.1f" a) (base ~fixed_alpha:a ()))
+    [ 0.0; 0.2; 0.5; 0.8; 1.0 ];
+  run "no static learning" (base ~static:false ());
+  run "no dynamic learning" (base ~dynamic:false ());
+  run "no learning at all" (base ~static:false ~dynamic:false ())
+
+(* ---- micro-benchmarks (bechamel) ---- *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let rng = Healer_util.Rng.create 1 in
+  let table = Static_learning.initial_table target in
+  let sample_prog =
+    Gen.generate rng target
+      ~select:(fun ~sub:_ -> Healer_util.Rng.int rng (Target.n_syscalls target))
+      ()
+  in
+  let encoded = Healer_executor.Serializer.encode sample_prog in
+  let choice = Choice_table.create target in
+  let tests =
+    [
+      Test.make ~name:"exec program"
+        (Staged.stage (fun () ->
+             ignore (Healer_executor.Exec.run kernel sample_prog)));
+      Test.make ~name:"serializer encode"
+        (Staged.stage (fun () -> ignore (Healer_executor.Serializer.encode sample_prog)));
+      Test.make ~name:"serializer decode"
+        (Staged.stage (fun () ->
+             ignore (Healer_executor.Serializer.decode target encoded)));
+      Test.make ~name:"algorithm3 select"
+        (Staged.stage (fun () ->
+             ignore (Select.select rng table ~alpha:0.8 ~sub:[ 1; 2; 3; 4 ])));
+      Test.make ~name:"choice table select"
+        (Staged.stage (fun () ->
+             ignore (Choice_table.select rng choice ~bias:(Some 3))));
+      Test.make ~name:"generate test case"
+        (Staged.stage (fun () ->
+             ignore
+               (Gen.generate rng target
+                  ~select:(fun ~sub:_ -> Healer_util.Rng.int rng (Target.n_syscalls target))
+                  ())));
+      Test.make ~name:"relation table set/get"
+        (Staged.stage (fun () ->
+             let t = Relation_table.create 64 in
+             for i = 0 to 63 do
+               ignore (Relation_table.set t i ((i + 7) mod 64))
+             done));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Fmt.pr "  %-26s %14s@." "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-26s %14.0f@." (Test.Elt.name elt) est
+          | _ -> Fmt.pr "  %-26s %14s@." (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    tests
+
+(* ---- main ---- *)
+
+let sections =
+  [
+    ("fig4", fig4); ("table1", table1); ("table2", table2); ("table3", table3);
+    ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
+    ("ablation", ablation); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Fmt.pr "HEALER reproduction benches: rounds=%d, %.0f virtual hours per campaign@."
+    rounds hours;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown section %s (available: %s)@." name
+          (String.concat ", " (List.map fst sections)))
+    requested

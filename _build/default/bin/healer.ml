@@ -1,0 +1,267 @@
+(* HEALER command-line interface.
+
+   Subcommands:
+     fuzz      run a fuzzing campaign on the simulated kernel
+     target    print the compiled syscall description summary
+     bugs      list the injected vulnerability catalog
+     relations learn relations for a while and dump the table
+     compare   head-to-head campaign of two tools *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module K = Healer_kernel
+open Healer_core
+open Cmdliner
+
+let version_conv =
+  let parse s =
+    match K.Version.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown kernel version %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (K.Version.to_string v))
+
+let tool_conv =
+  let parse = function
+    | "healer" -> Ok Fuzzer.Healer
+    | "healer-" -> Ok Fuzzer.Healer_minus
+    | "syzkaller" -> Ok Fuzzer.Syzkaller
+    | "moonshine" -> Ok Fuzzer.Moonshine
+    | s -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
+  in
+  Arg.conv (parse, fun ppf t -> Fmt.string ppf (Fuzzer.tool_name t))
+
+let version_arg =
+  Arg.(
+    value
+    & opt version_conv K.Version.V5_11
+    & info [ "k"; "kernel" ] ~docv:"VERSION" ~doc:"Kernel version (4.19, 5.0, 5.4, 5.6, 5.11).")
+
+let tool_arg =
+  Arg.(
+    value
+    & opt tool_conv Fuzzer.Healer
+    & info [ "t"; "tool" ] ~docv:"TOOL"
+        ~doc:"Fuzzer: healer, healer-, syzkaller or moonshine.")
+
+let hours_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "H"; "hours" ] ~docv:"HOURS" ~doc:"Virtual campaign duration in hours.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* Turn the library's typed failures into one-line CLI errors. *)
+let or_die f =
+  try f () with
+  | Persist.Corrupt msg ->
+    Fmt.epr "error: corrupt state file (%s)@." msg;
+    exit 1
+  | Invalid_argument msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+  | Healer_syzlang.Parser.Error { line; msg } ->
+    Fmt.epr "error: parse failure at line %d: %s@." line msg;
+    exit 1
+  | Healer_syzlang.Lexer.Error { line; msg } ->
+    Fmt.epr "error: lex failure at line %d: %s@." line msg;
+    exit 1
+  | Healer_syzlang.Target.Compile_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+  | Sys_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+let run_fuzz tool version hours seed load_rel save_rel load_corp save_corp =
+  let cfg = Fuzzer.config ~seed ~tool ~version () in
+  let initial_relations =
+    Option.map (fun path -> or_die (fun () -> Persist.load_relations ~path)) load_rel
+  in
+  let initial_seeds =
+    match load_corp with
+    | Some path ->
+      or_die (fun () -> Persist.load_corpus (Healer_kernel.Kernel.target ()) ~path)
+    | None -> []
+  in
+  let f = Fuzzer.create ?initial_relations ~initial_seeds cfg in
+  Fmt.pr "%s on Linux %s, %.1f virtual hours (seed %d)...@." (Fuzzer.tool_name tool)
+    (K.Version.to_string version) hours seed;
+  Fuzzer.run_until f (hours *. 3600.0);
+  (match (save_rel, Fuzzer.relations f) with
+  | Some path, Some table ->
+    Persist.save_relations ~path table;
+    Fmt.pr "saved %d relations to %s@." (Relation_table.count table) path
+  | Some _, None -> Fmt.epr "this tool has no relation table to save@."
+  | None, _ -> ());
+  (match save_corp with
+  | Some path ->
+    let programs = ref [] in
+    Corpus.iter (fun p -> programs := p :: !programs) (Fuzzer.corpus f);
+    Persist.save_corpus ~path (List.rev !programs);
+    Fmt.pr "saved %d corpus programs to %s@." (List.length !programs) path
+  | None -> ());
+  Fmt.pr "executions        %d@." (Fuzzer.execs f);
+  Fmt.pr "branch coverage   %d@." (Fuzzer.coverage f);
+  Fmt.pr "corpus            %d programs@." (Corpus.size (Fuzzer.corpus f));
+  if tool = Fuzzer.Healer then begin
+    Fmt.pr "learned relations %d@." (Fuzzer.relation_count f);
+    Fmt.pr "alpha             %.2f@." (Fuzzer.alpha_value f)
+  end;
+  let records = Triage.records (Fuzzer.triage f) in
+  Fmt.pr "unique crashes    %d@." (List.length records);
+  List.iter
+    (fun (r : Triage.record) ->
+      Fmt.pr "  %6.1fh  %-44s %-24s repro=%d calls@."
+        (r.Triage.first_found /. 3600.0)
+        r.Triage.bug_key
+        (K.Risk.to_string r.Triage.risk)
+        r.Triage.repro_len)
+    records
+
+let path_opt name doc =
+  Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated kernel")
+    Term.(
+      const run_fuzz $ tool_arg $ version_arg $ hours_arg $ seed_arg
+      $ path_opt "load-relations" "Merge a saved relation table before fuzzing."
+      $ path_opt "save-relations" "Write the learned relation table afterwards."
+      $ path_opt "load-corpus" "Ingest a saved corpus archive as initial seeds."
+      $ path_opt "save-corpus" "Write the final corpus archive afterwards.")
+
+let run_target () =
+  let t = K.Kernel.target () in
+  Fmt.pr "%a@.@." Target.pp_summary t;
+  let by_sub = Hashtbl.create 16 in
+  Array.iter
+    (fun (c : Syscall.t) ->
+      let sub = K.Kernel.subsystem_of c.Syscall.name in
+      Hashtbl.replace by_sub sub
+        (c.Syscall.name
+        :: (match Hashtbl.find_opt by_sub sub with Some l -> l | None -> [])))
+    (Target.syscalls t);
+  Hashtbl.fold (fun sub calls acc -> (sub, List.length calls) :: acc) by_sub []
+  |> List.sort compare
+  |> List.iter (fun (sub, n) -> Fmt.pr "  %-12s %3d interfaces@." sub n)
+
+let target_cmd =
+  Cmd.v
+    (Cmd.info "target" ~doc:"Print the compiled Syzlang description summary")
+    Term.(const run_target $ const ())
+
+let run_bugs () =
+  Fmt.pr "%-44s %-10s %-26s %-6s %s@." "BUG" "SUBSYSTEM" "RISK" "SINCE" "POPULATION";
+  List.iter
+    (fun (b : K.Bug.t) ->
+      Fmt.pr "%-44s %-10s %-26s %-6s %s@." b.K.Bug.key b.K.Bug.subsystem
+        (K.Risk.to_string b.K.Bug.risk)
+        (K.Version.to_string b.K.Bug.since)
+        (if b.K.Bug.table4 then "table-4"
+         else if b.K.Bug.known then "known"
+         else "table-5"))
+    K.Bug.catalog
+
+let bugs_cmd =
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"List the injected vulnerability catalog")
+    Term.(const run_bugs $ const ())
+
+let run_relations version hours seed =
+  let cfg = Fuzzer.config ~seed ~tool:Fuzzer.Healer ~version () in
+  let f = Fuzzer.create cfg in
+  Fuzzer.run_until f (hours *. 3600.0);
+  let t = Fuzzer.target f in
+  let static = Static_learning.initial_table t in
+  match Fuzzer.relations f with
+  | None -> Fmt.pr "no relation table@."
+  | Some table ->
+    Fmt.pr "%a@." Relation_table.pp_stats table;
+    Fmt.pr "static %d + dynamic %d@.@." (Relation_table.count static)
+      (Relation_table.count table - Relation_table.count static);
+    List.iter
+      (fun (a, b) ->
+        let tag = if Relation_table.get static a b then "s" else "d" in
+        Fmt.pr "  [%s] %-30s -> %s@." tag
+          (Target.syscall t a).Syscall.name
+          (Target.syscall t b).Syscall.name)
+      (Relation_table.edges table)
+
+let relations_cmd =
+  Cmd.v
+    (Cmd.info "relations"
+       ~doc:"Fuzz for a while with HEALER and dump the learned relation table")
+    Term.(const run_relations $ version_arg $ hours_arg $ seed_arg)
+
+let run_compare subject base version hours seed =
+  let go tool =
+    let r = Campaign.run_one ~hours ~seed ~tool ~version () in
+    Fmt.pr "%-10s coverage=%d execs=%d crashes=%d@." (Fuzzer.tool_name tool)
+      r.Campaign.final_cov r.Campaign.execs
+      (List.length r.Campaign.crashes);
+    r
+  in
+  let b = go base in
+  let s = go subject in
+  Fmt.pr "improvement of %s over %s: %+.1f%%@." (Fuzzer.tool_name subject)
+    (Fuzzer.tool_name base)
+    (Campaign.improvement_pct ~base:b s);
+  match Campaign.speedup ~base:b s with
+  | Some x -> Fmt.pr "speed-up to reach %s's coverage: %.1fx@." (Fuzzer.tool_name base) x
+  | None -> Fmt.pr "subject did not reach the base coverage@."
+
+let base_arg =
+  Arg.(
+    value
+    & opt tool_conv Fuzzer.Syzkaller
+    & info [ "b"; "base" ] ~docv:"TOOL" ~doc:"Baseline tool.")
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Head-to-head campaign of two tools")
+    Term.(const run_compare $ tool_arg $ base_arg $ version_arg $ hours_arg $ seed_arg)
+
+let run_lint file =
+  let t =
+    or_die (fun () ->
+        match file with
+        | None -> Healer_kernel.Kernel.target ()
+        | Some path ->
+          let ic = open_in path in
+          let src =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Target.of_string ~name:path src)
+  in
+  match Target.lint t with
+  | [] -> Fmt.pr "%s: no description warnings@." (Target.name t)
+  | warnings -> List.iter (fun w -> Fmt.pr "warning: %s@." w) warnings
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check a Syzlang description file (or the built-in target) for \
+          unreachable resources, unused flag sets and producer-less consumers")
+    Term.(
+      const run_lint
+      $ Arg.(
+          value
+          & pos 0 (some file) None
+          & info [] ~docv:"FILE" ~doc:"Description file; default: built-in target."))
+
+let () =
+  let info =
+    Cmd.info "healer" ~version:"1.0.0"
+      ~doc:"Relation-learning guided kernel fuzzing on a simulated Linux kernel"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fuzz_cmd; target_cmd; bugs_cmd; relations_cmd; compare_cmd; lint_cmd ]))

@@ -1,0 +1,1 @@
+examples/header_import.ml: Fmt Gen Healer_core Healer_executor Healer_syzlang Healer_util List Relation_table Static_learning

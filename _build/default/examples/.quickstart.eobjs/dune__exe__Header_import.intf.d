@@ -1,0 +1,1 @@
+examples/header_import.mli:

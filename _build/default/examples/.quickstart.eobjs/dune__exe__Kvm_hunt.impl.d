@@ -1,0 +1,1 @@
+examples/kvm_hunt.ml: Fmt Fuzzer Healer_core Healer_executor Healer_kernel Healer_syzlang List Relation_table String Triage

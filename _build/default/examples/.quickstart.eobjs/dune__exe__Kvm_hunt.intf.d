@@ -1,0 +1,1 @@
+examples/kvm_hunt.mli:

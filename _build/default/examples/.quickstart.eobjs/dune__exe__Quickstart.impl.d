@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Corpus Fmt Fuzzer Healer_core Healer_executor Healer_kernel Healer_syzlang List Triage

@@ -1,0 +1,1 @@
+examples/relation_explore.ml: Fmt Fuzzer Healer_core Healer_kernel Healer_syzlang Int List Option Relation_table Static_learning

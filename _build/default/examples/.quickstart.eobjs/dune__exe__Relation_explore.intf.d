@@ -1,0 +1,1 @@
+examples/relation_explore.mli:

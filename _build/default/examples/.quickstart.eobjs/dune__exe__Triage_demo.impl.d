@@ -1,0 +1,1 @@
+examples/triage_demo.ml: Bytes Fmt Healer_core Healer_executor Healer_kernel Healer_syzlang Option Triage

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Healer_executor Healer_syzlang Healer_util List Value_gen

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Corpus Float Fuzzer Hashtbl Healer_kernel Healer_util List Triage

@@ -1,0 +1,1 @@
+lib/core/choice_table.ml: Array Healer_executor Healer_syzlang Healer_util List String

@@ -1,0 +1,1 @@
+lib/core/choice_table.mli: Healer_executor Healer_syzlang Healer_util

@@ -1,0 +1,1 @@
+lib/core/corpus.ml: Array Hashtbl Healer_executor Healer_syzlang Healer_util List

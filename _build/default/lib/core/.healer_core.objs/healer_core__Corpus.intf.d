@@ -1,0 +1,1 @@
+lib/core/corpus.mli: Healer_executor Healer_syzlang Healer_util

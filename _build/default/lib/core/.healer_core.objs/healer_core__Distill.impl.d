@@ -1,0 +1,1 @@
+lib/core/distill.ml: Array Hashtbl Healer_executor Healer_kernel Healer_syzlang Int List String

@@ -1,0 +1,1 @@
+lib/core/distill.mli: Healer_executor

@@ -1,0 +1,1 @@
+lib/core/dynamic_learning.ml: Array Healer_executor Healer_syzlang List Minimize Prog_cov Relation_table

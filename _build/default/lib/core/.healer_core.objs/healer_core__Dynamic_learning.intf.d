@@ -1,0 +1,1 @@
+lib/core/dynamic_learning.mli: Healer_executor Prog_cov Relation_table

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Healer_executor Healer_util

@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Healer_executor Healer_util

@@ -1,0 +1,1 @@
+lib/core/fuzzer.mli: Corpus Healer_executor Healer_kernel Healer_syzlang Relation_table Triage

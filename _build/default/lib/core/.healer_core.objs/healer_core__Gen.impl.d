@@ -1,0 +1,1 @@
+lib/core/gen.ml: Array Builder Healer_executor Healer_syzlang Healer_util List

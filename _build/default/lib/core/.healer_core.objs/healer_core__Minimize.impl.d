@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Hashtbl Healer_executor List Prog_cov

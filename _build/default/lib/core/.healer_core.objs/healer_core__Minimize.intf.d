@@ -1,0 +1,1 @@
+lib/core/minimize.mli: Healer_executor Prog_cov

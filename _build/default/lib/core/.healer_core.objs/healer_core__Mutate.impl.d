@@ -1,0 +1,1 @@
+lib/core/mutate.ml: Array Builder Gen Healer_executor Healer_syzlang Healer_util Value_gen

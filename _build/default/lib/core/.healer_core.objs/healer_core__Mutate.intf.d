@@ -1,0 +1,1 @@
+lib/core/mutate.mli: Healer_executor Healer_syzlang Healer_util

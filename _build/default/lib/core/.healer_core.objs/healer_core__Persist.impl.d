@@ -1,0 +1,1 @@
+lib/core/persist.ml: Buffer Fun Healer_executor Int64 List Relation_table String

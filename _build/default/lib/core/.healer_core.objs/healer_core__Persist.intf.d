@@ -1,0 +1,1 @@
+lib/core/persist.mli: Healer_executor Healer_syzlang Relation_table

@@ -1,0 +1,1 @@
+lib/core/prog_cov.ml: Array Healer_executor

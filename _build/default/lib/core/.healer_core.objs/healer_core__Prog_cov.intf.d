@@ -1,0 +1,1 @@
+lib/core/prog_cov.mli: Healer_executor

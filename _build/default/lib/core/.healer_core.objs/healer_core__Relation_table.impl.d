@@ -1,0 +1,1 @@
+lib/core/relation_table.ml: Array Buffer Bytes Char Fmt Int List Printf Scanf String

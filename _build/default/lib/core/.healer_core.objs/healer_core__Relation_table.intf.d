@@ -1,0 +1,1 @@
+lib/core/relation_table.mli: Format

@@ -1,0 +1,1 @@
+lib/core/seeds.ml: Builder Distill Healer_executor Healer_syzlang Healer_util List

@@ -1,0 +1,1 @@
+lib/core/seeds.mli: Healer_executor Healer_syzlang

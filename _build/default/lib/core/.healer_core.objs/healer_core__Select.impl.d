@@ -1,0 +1,1 @@
+lib/core/select.ml: Hashtbl Healer_util List Relation_table

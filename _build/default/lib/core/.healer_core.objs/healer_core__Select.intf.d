@@ -1,0 +1,1 @@
+lib/core/select.mli: Healer_util Relation_table

@@ -1,0 +1,1 @@
+lib/core/static_learning.ml: Array Healer_syzlang List Relation_table String

@@ -1,0 +1,1 @@
+lib/core/static_learning.mli: Healer_syzlang Relation_table

@@ -1,0 +1,1 @@
+lib/core/triage.ml: Hashtbl Healer_executor Healer_kernel List String

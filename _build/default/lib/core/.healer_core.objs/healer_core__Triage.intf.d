@@ -1,0 +1,1 @@
+lib/core/triage.mli: Healer_executor Healer_kernel

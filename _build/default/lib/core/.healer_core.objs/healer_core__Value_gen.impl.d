@@ -1,0 +1,1 @@
+lib/core/value_gen.ml: Array Bytes Char Healer_executor Healer_syzlang Healer_util Int64 List String

@@ -1,0 +1,1 @@
+lib/core/value_gen.mli: Healer_executor Healer_syzlang Healer_util

@@ -1,0 +1,60 @@
+type t = {
+  mutable alpha : float;
+  window : int;
+  mutable table_uses : int;
+  mutable table_hits : int;
+  mutable rand_uses : int;
+  mutable rand_hits : int;
+  mutable recorded : int;
+  mutable n_updates : int;
+}
+
+let lo = 0.2
+let hi = 0.95
+
+(* [init] is taken as given (the fixed-alpha ablation uses 0 and 1);
+   only the adaptive updates are clamped into [lo, hi]. *)
+let create ?(init = 0.5) ?(window = 1024) () =
+  {
+    alpha = init;
+    window;
+    table_uses = 0;
+    table_hits = 0;
+    rand_uses = 0;
+    rand_hits = 0;
+    recorded = 0;
+    n_updates = 0;
+  }
+
+let value t = t.alpha
+
+let update t =
+  if t.table_uses >= 32 && t.rand_uses >= 32 then begin
+    (* Laplace-smoothed success rates, blended with the previous value
+       so that a window where neither strategy finds much coverage
+       does not erase what alpha has learned. *)
+    let rt = float_of_int (t.table_hits + 1) /. float_of_int (t.table_uses + 2) in
+    let rr = float_of_int (t.rand_hits + 1) /. float_of_int (t.rand_uses + 2) in
+    let fresh = rt /. (rt +. rr) in
+    t.alpha <- min hi (max lo ((0.5 *. t.alpha) +. (0.5 *. fresh)))
+  end;
+  t.table_uses <- 0;
+  t.table_hits <- 0;
+  t.rand_uses <- 0;
+  t.rand_hits <- 0;
+  t.recorded <- 0;
+  t.n_updates <- t.n_updates + 1
+
+let record t ~used_table ~new_cov =
+  if used_table then begin
+    t.table_uses <- t.table_uses + 1;
+    if new_cov then t.table_hits <- t.table_hits + 1
+  end
+  else begin
+    t.rand_uses <- t.rand_uses + 1;
+    if new_cov then t.rand_hits <- t.rand_hits + 1
+  end;
+  t.recorded <- t.recorded + 1;
+  if t.recorded >= t.window then update t
+
+let updates t = t.n_updates

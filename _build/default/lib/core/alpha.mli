@@ -1,0 +1,20 @@
+(** The dynamically adjusted parameter alpha of Algorithm 3.
+
+    Alpha is the probability of consulting the relation table during
+    call selection. Every test case records whether its selection used
+    the table and whether it produced new coverage; every [window]
+    (default 1024, as in the paper) recorded test cases, alpha is
+    updated toward the relative rate of return of table-guided
+    selection, clamped away from the extremes so that neither pure
+    randomness nor pure guidance ever disappears. *)
+
+type t
+
+val create : ?init:float -> ?window:int -> unit -> t
+val value : t -> float
+
+val record : t -> used_table:bool -> new_cov:bool -> unit
+(** One finished test case. *)
+
+val updates : t -> int
+(** How many times alpha has been recomputed. *)

@@ -1,0 +1,63 @@
+module Rng = Healer_util.Rng
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module Prog = Healer_executor.Prog
+
+let max_prog_len = 32
+
+let producers_for target p ~upto kind =
+  let acc = ref [] in
+  for k = min upto (Prog.length p) - 1 downto 0 do
+    let c = (Prog.call p k).Prog.syscall in
+    let produced = Target.produces target c in
+    if
+      List.exists
+        (fun r -> Target.compatible target ~consumer:kind ~producer:r)
+        produced
+    then acc := k :: !acc
+  done;
+  !acc
+
+let value_ctx target p ~at =
+  {
+    Value_gen.target;
+    producers = (fun kind -> producers_for target p ~upto:at kind);
+  }
+
+let make_call rng target p ~at (call : Syscall.t) =
+  let args = Value_gen.gen_args rng (value_ctx target p ~at) call in
+  { Prog.syscall = call; args }
+
+(* Insert producers for the consumed kinds of [call] that have no
+   compatible producer before [at]; returns the program and the
+   position where [call] itself should now go. *)
+let rec ensure_producers rng target p ~at ~depth (call : Syscall.t) =
+  if depth <= 0 || Prog.length p >= max_prog_len then (p, at)
+  else
+    List.fold_left
+      (fun (p, at) kind ->
+        if Prog.length p >= max_prog_len then (p, at)
+        else if producers_for target p ~upto:at kind <> [] then (p, at)
+        else
+          match Target.producers_of target kind with
+          | [] -> (p, at)
+          | cands ->
+            let producer = Rng.pick rng cands in
+            if producer.Syscall.id = call.Syscall.id then (p, at)
+            else begin
+              let p, at' = ensure_producers rng target p ~at ~depth:(depth - 1) producer in
+              if Prog.length p >= max_prog_len then (p, at')
+              else begin
+                let pc = make_call rng target p ~at:at' producer in
+                (Prog.insert p at' pc, at' + 1)
+              end
+            end)
+      (p, at) (Target.consumes target call)
+
+let insert_call rng target p ~at (call : Syscall.t) =
+  let at = min at (Prog.length p) in
+  let p, at = ensure_producers rng target p ~at ~depth:3 call in
+  if Prog.length p >= max_prog_len then p
+  else Prog.insert p at (make_call rng target p ~at call)
+
+let append_call rng target p call = insert_call rng target p ~at:(Prog.length p) call

@@ -1,0 +1,44 @@
+(** Program assembly: creating calls with resource arguments wired to
+    earlier producers, and inserting the producer chain a call needs
+    when none exists yet in the sequence. *)
+
+val producers_for :
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.t ->
+  upto:int ->
+  string ->
+  int list
+(** Indices [< upto] of calls whose produced resource kind is
+    compatible with consumer kind. *)
+
+val make_call :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.t ->
+  at:int ->
+  Healer_syzlang.Syscall.t ->
+  Healer_executor.Prog.call
+(** Synthesize arguments for the call as if inserted at position [at]
+    (resource refs drawn from calls [0 .. at-1]). *)
+
+val insert_call :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.t ->
+  at:int ->
+  Healer_syzlang.Syscall.t ->
+  Healer_executor.Prog.t
+(** Insert the call at [at], first inserting producers (recursively, up
+    to depth 3) for any consumed resource kind that has no compatible
+    producer earlier in the sequence. *)
+
+val append_call :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.t ->
+  Healer_syzlang.Syscall.t ->
+  Healer_executor.Prog.t
+
+val max_prog_len : int
+(** Hard cap on generated program length (the paper's sequences range
+    up to ~32 calls). *)

@@ -1,0 +1,113 @@
+module Version = Healer_kernel.Version
+
+type run = {
+  tool : Fuzzer.tool;
+  version : Version.t;
+  seed : int;
+  hours : float;
+  final_cov : int;
+  samples : (float * int) list;
+  corpus_size : int;
+  corpus_lengths : int list;
+  relations : int;
+  crashes : Triage.record list;
+  relation_snapshots : (float * (int * int) list) list;
+  execs : int;
+}
+
+let run_one ?(hours = 24.0) ?(seed = 1) ~tool ~version () =
+  let cfg = Fuzzer.config ~seed ~tool ~version () in
+  let f = Fuzzer.create cfg in
+  Fuzzer.run_until f (hours *. 3600.0);
+  {
+    tool;
+    version;
+    seed;
+    hours;
+    final_cov = Fuzzer.coverage f;
+    samples = Fuzzer.samples f;
+    corpus_size = Corpus.size (Fuzzer.corpus f);
+    corpus_lengths = Corpus.lengths (Fuzzer.corpus f);
+    relations = Fuzzer.relation_count f;
+    crashes = Triage.records (Fuzzer.triage f);
+    relation_snapshots = Fuzzer.relation_snapshots f;
+    execs = Fuzzer.execs f;
+  }
+
+let improvement_pct ~base subject =
+  Healer_util.Statx.pct (float_of_int base.final_cov) (float_of_int subject.final_cov)
+
+let time_to_coverage run level =
+  let rec go = function
+    | [] -> None
+    | (t, cov) :: rest -> if cov >= level then Some t else go rest
+  in
+  go run.samples
+
+let speedup ~base subject =
+  match time_to_coverage subject base.final_cov with
+  | Some t when t > 0.0 -> Some (base.hours *. 3600.0 /. t)
+  | Some _ | None -> None
+
+type comparison = {
+  version : Version.t;
+  rounds : int;
+  min_impr : float;
+  max_impr : float;
+  avg_impr : float;
+  avg_speedup : float option;
+}
+
+let compare_tools ?(hours = 24.0) ~rounds ~subject ~base version =
+  if rounds <= 0 then invalid_arg "Campaign.compare_tools: rounds must be positive";
+  let pairs =
+    List.init rounds (fun round ->
+        let seed = round + 1 in
+        let b = run_one ~hours ~seed ~tool:base ~version () in
+        let s = run_one ~hours ~seed ~tool:subject ~version () in
+        (b, s))
+  in
+  let imprs = List.map (fun (b, s) -> improvement_pct ~base:b s) pairs in
+  let speedups = List.filter_map (fun (b, s) -> speedup ~base:b s) pairs in
+  {
+    version;
+    rounds;
+    min_impr = Healer_util.Statx.minimum imprs;
+    max_impr = Healer_util.Statx.maximum imprs;
+    avg_impr = Healer_util.Statx.mean imprs;
+    avg_speedup =
+      (if speedups = [] then None else Some (Healer_util.Statx.mean speedups));
+  }
+
+let average_series runs =
+  match runs with
+  | [] -> []
+  | first :: _ ->
+    let times = List.map fst first.samples in
+    List.map
+      (fun t ->
+        let at run =
+          (* Last sample at or before t; series are per-minute so exact
+             matches are the common case. *)
+          let rec go acc = function
+            | [] -> acc
+            | (t', cov) :: rest -> if t' <= t then go (float_of_int cov) rest else acc
+          in
+          go 0.0 run.samples
+        in
+        (t, Healer_util.Statx.mean (List.map at runs)))
+      times
+
+let merge_crashes runs =
+  let best : (string, Triage.record) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun run ->
+      List.iter
+        (fun (r : Triage.record) ->
+          match Hashtbl.find_opt best r.Triage.bug_key with
+          | Some prev when prev.Triage.first_found <= r.Triage.first_found -> ()
+          | Some _ | None -> Hashtbl.replace best r.Triage.bug_key r)
+        run.crashes)
+    runs;
+  Hashtbl.fold (fun _ r acc -> r :: acc) best []
+  |> List.sort (fun a b -> Float.compare a.Triage.first_found b.Triage.first_found)

@@ -1,0 +1,65 @@
+(** Campaign engine: runs the paper's experiments on the virtual clock
+    and computes the statistics reported in Section 6 — coverage
+    improvement (min/max/avg across rounds), time-to-coverage speedups,
+    learned-relation counts, corpus length distributions, and
+    vulnerability sets. *)
+
+type run = {
+  tool : Fuzzer.tool;
+  version : Healer_kernel.Version.t;
+  seed : int;
+  hours : float;
+  final_cov : int;
+  samples : (float * int) list;  (** Per virtual minute. *)
+  corpus_size : int;
+  corpus_lengths : int list;
+  relations : int;
+  crashes : Triage.record list;
+  relation_snapshots : (float * (int * int) list) list;
+  execs : int;
+}
+
+val run_one :
+  ?hours:float ->
+  ?seed:int ->
+  tool:Fuzzer.tool ->
+  version:Healer_kernel.Version.t ->
+  unit ->
+  run
+(** One campaign (default 24 virtual hours). *)
+
+val improvement_pct : base:run -> run -> float
+(** Final-coverage improvement of the subject over [base], percent. *)
+
+val time_to_coverage : run -> int -> float option
+(** Virtual time at which the run first reached the coverage level,
+    from its samples. [None] if never. *)
+
+val speedup : base:run -> run -> float option
+(** How much faster the subject reached [base]'s final coverage:
+    [base.hours * 3600 / t]. [None] when the subject never got there. *)
+
+type comparison = {
+  version : Healer_kernel.Version.t;
+  rounds : int;
+  min_impr : float;
+  max_impr : float;
+  avg_impr : float;
+  avg_speedup : float option;
+}
+
+val compare_tools :
+  ?hours:float ->
+  rounds:int ->
+  subject:Fuzzer.tool ->
+  base:Fuzzer.tool ->
+  Healer_kernel.Version.t ->
+  comparison
+(** Paired rounds (same seed per round for both tools), as in Table 1 /
+    Table 2. *)
+
+val average_series : run list -> (float * float) list
+(** Point-wise average of the runs' coverage samples (Figure 4). *)
+
+val merge_crashes : run list -> Triage.record list
+(** Union by bug key, earliest first_found wins. *)

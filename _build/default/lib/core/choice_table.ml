@@ -1,0 +1,132 @@
+module Rng = Healer_util.Rng
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module Ty = Healer_syzlang.Ty
+module Field = Healer_syzlang.Field
+module Prog = Healer_executor.Prog
+
+type signature = {
+  resources : string list;  (* kinds used in any position/direction *)
+  flagsets : string list;
+  has_vma : bool;
+  has_buffer : bool;
+}
+
+type t = {
+  n : int;
+  p0 : int array array;  (* normalized static part *)
+  p1_raw : int array array;  (* adjacency counters *)
+  mutable p1 : int array array;  (* normalized dynamic part *)
+  mutable dirty : bool;
+  mutable noted : int;
+}
+
+let rec collect_sig target acc (ty : Ty.t) =
+  match ty with
+  | Ty.Res { kind; _ } -> { acc with resources = kind :: acc.resources }
+  | Ty.Flags name -> { acc with flagsets = name :: acc.flagsets }
+  | Ty.Vma -> { acc with has_vma = true }
+  | Ty.Buffer _ -> { acc with has_buffer = true }
+  | Ty.Ptr { elem; _ } -> collect_sig target acc elem
+  | Ty.Array { elem; _ } -> collect_sig target acc elem
+  | Ty.Struct_ref name ->
+    List.fold_left
+      (fun acc (f : Field.t) -> collect_sig target acc f.Field.fty)
+      acc
+      (Target.struct_fields target name)
+  | Ty.Union_ref name ->
+    List.fold_left
+      (fun acc (f : Field.t) -> collect_sig target acc f.Field.fty)
+      acc
+      (Target.union_fields target name)
+  | Ty.Int _ | Ty.Const _ | Ty.Len _ | Ty.Proc _ | Ty.Str _ | Ty.Filename _ ->
+    acc
+
+let signature_of target (c : Syscall.t) =
+  let base =
+    { resources = (match c.Syscall.ret with Some r -> [ r ] | None -> []);
+      flagsets = []; has_vma = false; has_buffer = false }
+  in
+  let s =
+    List.fold_left
+      (fun acc (f : Field.t) -> collect_sig target acc f.Field.fty)
+      base c.Syscall.args
+  in
+  {
+    s with
+    resources = List.sort_uniq String.compare s.resources;
+    flagsets = List.sort_uniq String.compare s.flagsets;
+  }
+
+let common_count xs ys = List.length (List.filter (fun x -> List.mem x ys) xs)
+
+(* Per the paper, P0 weighs common type *classes*, not specific kinds:
+   any shared resource type contributes the flat weight 10, vma 5 —
+   which is exactly why the choice table cannot express influence
+   relations (read(fd) before listen(sock) scores like
+   KVM_CREATE_VCPU before KVM_RUN). *)
+let raw_p0 si sj =
+  (10 * if si.resources <> [] && sj.resources <> [] then 1 else 0)
+  + (5 * if si.has_vma && sj.has_vma then 1 else 0)
+  + (2 * if common_count si.flagsets sj.flagsets > 0 then 1 else 0)
+  + (1 * if si.has_buffer && sj.has_buffer then 1 else 0)
+
+(* Normalize a raw matrix into [10, 1000] by the paper's description. *)
+let normalize raw =
+  let n = Array.length raw in
+  let vmax = Array.fold_left (fun m row -> Array.fold_left max m row) 0 raw in
+  let out = Array.make_matrix n n 10 in
+  if vmax > 0 then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        out.(i).(j) <- 10 + (raw.(i).(j) * 990 / vmax)
+      done
+    done;
+  out
+
+let create target =
+  let calls = Target.syscalls target in
+  let n = Array.length calls in
+  let sigs = Array.map (signature_of target) calls in
+  let raw = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then raw.(i).(j) <- raw_p0 sigs.(i) sigs.(j)
+    done
+  done;
+  {
+    n;
+    p0 = normalize raw;
+    p1_raw = Array.make_matrix n n 0;
+    p1 = Array.make_matrix n n 10;
+    dirty = false;
+    noted = 0;
+  }
+
+let note_corpus_program t (p : Prog.t) =
+  for k = 0 to Prog.length p - 2 do
+    let i = (Prog.call p k).Prog.syscall.Syscall.id in
+    let j = (Prog.call p (k + 1)).Prog.syscall.Syscall.id in
+    if i < t.n && j < t.n then t.p1_raw.(i).(j) <- t.p1_raw.(i).(j) + 1
+  done;
+  t.noted <- t.noted + 1;
+  t.dirty <- true
+
+let refresh t =
+  if t.dirty then begin
+    t.p1 <- normalize t.p1_raw;
+    t.dirty <- false
+  end
+
+let weight t i j =
+  refresh t;
+  t.p0.(i).(j) * t.p1.(i).(j) / 1000
+
+let select rng t ~bias =
+  match bias with
+  | None -> Rng.int rng t.n
+  | Some b when b < 0 || b >= t.n -> Rng.int rng t.n
+  | Some b ->
+    refresh t;
+    let choices = List.init t.n (fun j -> (j, max 1 (weight t b j))) in
+    Rng.weighted rng choices

@@ -1,0 +1,26 @@
+(** The corpus of interesting (minimized) test cases.
+
+    Entries are deduplicated by their serialized form; seed picking is
+    weighted toward entries that contributed more new coverage. The
+    length histogram feeds the paper's Figure 6. *)
+
+type t
+
+val create : Healer_syzlang.Target.t -> t
+
+val add : t -> Healer_executor.Prog.t -> new_blocks:int -> bool
+(** False if the program was already present. Empty programs are
+    rejected. *)
+
+val size : t -> int
+val is_empty : t -> bool
+val pick : Healer_util.Rng.t -> t -> Healer_executor.Prog.t option
+val lengths : t -> int list
+
+val length_histogram : t -> (string * int) list
+(** Buckets "1".."4" and "5+", as in Figure 6. *)
+
+val frac_len_at_least : t -> int -> float
+(** Fraction of corpus programs with at least that many calls. *)
+
+val iter : (Healer_executor.Prog.t -> unit) -> t -> unit

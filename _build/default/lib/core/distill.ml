@@ -1,0 +1,68 @@
+module Prog = Healer_executor.Prog
+module Serializer = Healer_executor.Serializer
+module Syscall = Healer_syzlang.Syscall
+module Kernel = Healer_kernel.Kernel
+
+let subsystem_of_call (c : Prog.call) = Kernel.subsystem_of c.Prog.syscall.Syscall.name
+
+let dependencies p i =
+  let ci = Prog.call p i in
+  let explicit = Prog.refs_of_call ci in
+  let sub_i = subsystem_of_call ci in
+  let shared_state =
+    List.filter
+      (fun j ->
+        (not (List.mem j explicit))
+        && String.equal (subsystem_of_call (Prog.call p j)) sub_i)
+      (List.init i (fun j -> j))
+  in
+  List.sort_uniq Int.compare (explicit @ shared_state)
+
+let closure p i =
+  let marked = Array.make (Prog.length p) false in
+  let rec visit k =
+    if not marked.(k) then begin
+      marked.(k) <- true;
+      List.iter visit (dependencies p k)
+    end
+  in
+  visit i;
+  marked
+
+let slice p i =
+  let marked = closure p i in
+  (* Delete unmarked calls from the end backwards so indices stay valid;
+     Prog.remove renumbers the references. *)
+  let q = ref p in
+  for k = Prog.length p - 1 downto 0 do
+    if not marked.(k) then q := Prog.remove !q k
+  done;
+  !q
+
+let distill traces =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let emit s =
+    let key = Serializer.encode s in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := s :: !out
+    end
+  in
+  List.iter
+    (fun p ->
+      let n = Prog.length p in
+      let captured = Array.make n false in
+      for i = n - 1 downto 0 do
+        if not captured.(i) then begin
+          let marked = closure p i in
+          Array.iteri (fun k m -> if m then captured.(k) <- true) marked;
+          let s = slice p i in
+          (* A single isolated call whose subsystem nobody else touches
+             carries no dependency information; Moonshine drops such
+             calls from its distilled seeds. *)
+          if Prog.length s > 1 then emit s
+        end
+      done)
+    traces;
+  List.rev !out

@@ -1,0 +1,26 @@
+(** Moonshine's seed distillation (paper Section 3).
+
+    Moonshine traces existing handwritten test suites, statically
+    analyzes the read-write dependencies of the traced calls, and keeps
+    only the calls each interesting call depends on, producing compact
+    high-quality initial seeds for Syzkaller.
+
+    Our trace substrate is {!Seeds.traces} (synthetic LTP-style test
+    programs); the dependency approximation keeps a call [C_j] for
+    [C_i] when [C_i] references [C_j]'s result (explicit resource flow)
+    or when both touch the same kernel subsystem's global state and
+    [C_j] runs first (the static over-approximation of shared
+    read-write variables). *)
+
+val dependencies : Healer_executor.Prog.t -> int -> int list
+(** [dependencies p i] — indices [j < i] that call [i] depends on
+    (one step; not transitive). *)
+
+val slice : Healer_executor.Prog.t -> int -> Healer_executor.Prog.t
+(** Backward dependency closure of call [i], as a runnable program. *)
+
+val distill : Healer_executor.Prog.t list -> Healer_executor.Prog.t list
+(** Distill a trace corpus into deduplicated seeds: walking each trace
+    backwards, each call not yet captured by a previous slice seeds its
+    own dependency slice; single-call slices of calls with dependents
+    are dropped as redundant. *)

@@ -1,0 +1,34 @@
+module Prog = Healer_executor.Prog
+module Exec = Healer_executor.Exec
+module Syscall = Healer_syzlang.Syscall
+
+let call_id p k = (Prog.call p k).Prog.syscall.Syscall.id
+
+(* Algorithm 2 body for one minimized subsequence. *)
+let learn_one ~exec ~table (pc : Prog_cov.t) =
+  let p = pc.Prog_cov.prog in
+  let fresh = ref [] in
+  for k = 1 to Prog.length p - 1 do
+    let prev = k - 1 in
+    let i = call_id p prev and j = call_id p k in
+    if not (Relation_table.get table i j) then begin
+      let candidate = Prog.remove p prev in
+      let r = exec candidate in
+      (* After removing the call at [prev], C_k sits at index k-1. *)
+      let cov' =
+        if k - 1 < Array.length r.Exec.calls then r.Exec.calls.(k - 1).Exec.cov
+        else []
+      in
+      if not (Exec.cov_equal cov' pc.Prog_cov.cov.(k)) then
+        if Relation_table.set table i j then fresh := (i, j) :: !fresh
+    end
+  done;
+  List.rev !fresh
+
+let learn ~exec ~table minimized =
+  List.concat_map (learn_one ~exec ~table) minimized
+
+let learn_from_run ~exec ~table pc =
+  let minimized = Minimize.minimize ~exec pc in
+  let relations = learn ~exec ~table minimized in
+  (relations, minimized)

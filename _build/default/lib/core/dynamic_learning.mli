@@ -1,0 +1,27 @@
+(** Dynamic relation learning — the paper's Algorithm 2.
+
+    For each minimized subsequence, examine every pair of {e
+    consecutive} calls (C_j, C_i) whose relation is still unknown:
+    remove C_j, re-execute, and if C_i's per-call coverage changed,
+    record that C_j influences C_i. Only consecutive pairs are
+    analyzed because a coverage change after removing a
+    non-consecutive call could be an indirect effect (the paper's
+    causality argument). *)
+
+val learn :
+  exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
+  table:Relation_table.t ->
+  Prog_cov.t list ->
+  (int * int) list
+(** [learn ~exec ~table minimized] analyzes each minimized subsequence
+    (as produced by {!Minimize.minimize}) and updates [table]. Returns
+    the newly learned (i, j) syscall-id pairs. *)
+
+val learn_from_run :
+  exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
+  table:Relation_table.t ->
+  Prog_cov.t ->
+  (int * int) list * Prog_cov.t list
+(** Full pipeline on an interesting test case: minimize (Algorithm 1),
+    then learn (Algorithm 2). Returns the new relations and the
+    minimized subsequences (for corpus insertion). *)

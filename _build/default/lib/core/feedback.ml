@@ -1,0 +1,26 @@
+module Bitset = Healer_util.Bitset
+module Exec = Healer_executor.Exec
+
+type t = { bitmap : Bitset.t }
+
+let create () = { bitmap = Bitset.create ~capacity:8192 () }
+let coverage t = Bitset.count t.bitmap
+let seen t = t.bitmap
+
+let process t (r : Exec.run_result) =
+  let per_call =
+    Array.map
+      (fun (cr : Exec.call_result) -> Bitset.new_of t.bitmap cr.Exec.cov)
+      r.Exec.calls
+  in
+  Array.iter
+    (fun (cr : Exec.call_result) -> ignore (Bitset.add_seq t.bitmap cr.Exec.cov))
+    r.Exec.calls;
+  per_call
+
+let is_interesting per_call = Array.exists (fun l -> l <> []) per_call
+
+let peek_new t (r : Exec.run_result) =
+  Array.exists
+    (fun (cr : Exec.call_result) -> Bitset.new_of t.bitmap cr.Exec.cov <> [])
+    r.Exec.calls

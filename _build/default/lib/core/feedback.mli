@@ -1,0 +1,23 @@
+(** Global coverage feedback: the accumulated branch bitmap and
+    detection of test cases that reach new coverage. *)
+
+type t
+
+val create : unit -> t
+
+val coverage : t -> int
+(** Branches covered so far. *)
+
+val seen : t -> Healer_util.Bitset.t
+
+val process : t -> Healer_executor.Exec.run_result -> int list array
+(** [process t r] returns, per call, the branch ids that were new
+    relative to the global bitmap (before merging), then merges
+    everything. The paper's trigger for minimization + relation
+    learning is a non-empty result on any call. *)
+
+val is_interesting : int list array -> bool
+(** Any call with new coverage? *)
+
+val peek_new : t -> Healer_executor.Exec.run_result -> bool
+(** Would [process] find new coverage? No state change. *)

@@ -1,0 +1,42 @@
+module Rng = Healer_util.Rng
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module Prog = Healer_executor.Prog
+
+let syscall_ids p ~upto =
+  List.init (min upto (Prog.length p)) (fun k ->
+      (Prog.call p k).Prog.syscall.Syscall.id)
+
+let seed_pair rng target =
+  match Target.resource_kinds target with
+  | [] -> Prog.empty
+  | kinds -> (
+    let kind = Rng.pick rng kinds in
+    match (Target.producers_of target kind, Target.consumers_of target kind) with
+    | [], _ | _, [] -> Prog.empty
+    | producers, consumers ->
+      let producer = Rng.pick rng producers in
+      let consumer = Rng.pick rng consumers in
+      let p = Builder.append_call rng target Prog.empty producer in
+      Builder.append_call rng target p consumer)
+
+let generate rng target ~select () =
+  let p = ref (seed_pair rng target) in
+  (if Prog.length !p = 0 then
+     (* Degenerate target with no usable resource pair: start from a
+        single random call. *)
+     let calls = Target.syscalls target in
+     let c = calls.(Rng.int rng (Array.length calls)) in
+     p := Builder.append_call rng target Prog.empty c);
+  (* Refinement: a few rounds of guided insertion. *)
+  let rounds = Rng.int_in rng 2 6 in
+  for _ = 1 to rounds do
+    if Prog.length !p < Builder.max_prog_len then begin
+      let at = Rng.int rng (Prog.length !p + 1) in
+      let sub = syscall_ids !p ~upto:at in
+      let id = select ~sub in
+      let call = Target.syscall target id in
+      p := Builder.insert_call rng target !p ~at call
+    end
+  done;
+  !p

@@ -1,0 +1,20 @@
+(** Guided sequence generation (paper Section 4.2).
+
+    Generation starts from a random producer/consumer pair for a
+    resource kind (what Syzlang's descriptions make explicit), then
+    refines the sequence by inserting additional calls chosen by the
+    caller-provided selection function (Algorithm 3 for HEALER, the
+    choice table for the Syzkaller baseline, uniform for HEALER-). *)
+
+val generate :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  select:(sub:int list -> int) ->
+  unit ->
+  Healer_executor.Prog.t
+(** [select ~sub] returns the syscall id to insert after the calls
+    whose ids are [sub]. *)
+
+val syscall_ids : Healer_executor.Prog.t -> upto:int -> int list
+(** The ids of the first [upto] calls (the sub-sequence S fed to call
+    selection). *)

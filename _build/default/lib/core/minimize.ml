@@ -1,0 +1,53 @@
+module Prog = Healer_executor.Prog
+module Exec = Healer_executor.Exec
+
+(* Algorithm 1 (Sequence Minimization).
+
+   Indices: [reserved] accumulates calls already explained by some
+   minimized subsequence; each seeding call C_i walks backwards trying
+   to remove every earlier call, keeping a removal when C_i's per-call
+   coverage is preserved, and reserving the calls that could not be
+   removed. *)
+let minimize ~exec (pc : Prog_cov.t) =
+  let p = pc.Prog_cov.prog in
+  let n = Prog.length p in
+  let reserved = Hashtbl.create 16 in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if (not (Hashtbl.mem reserved i)) && pc.Prog_cov.new_cov.(i) <> [] then begin
+      Hashtbl.replace reserved i ();
+      let target_cov = pc.Prog_cov.cov.(i) in
+      (* p' = p[0 .. i]; [last] tracks C_i's index within p' as earlier
+         calls are removed. *)
+      let p' = ref (Prog.sub p (i + 1)) in
+      let last = ref i in
+      (* Map positions of the current p' back to original indices so
+         that calls kept here can be reserved. *)
+      let origin = ref (List.init (i + 1) (fun k -> k)) in
+      for j = i - 1 downto 0 do
+        (* Position of original call j inside the current p'. *)
+        match List.find_index (fun o -> o = j) !origin with
+        | None -> ()
+        | Some pos ->
+          let candidate = Prog.remove !p' pos in
+          let r = exec candidate in
+          let kept_last = !last - 1 in
+          let cov' =
+            if kept_last >= 0 && kept_last < Array.length r.Exec.calls then
+              r.Exec.calls.(kept_last).Exec.cov
+            else []
+          in
+          if Exec.cov_equal cov' target_cov then begin
+            p' := candidate;
+            last := kept_last;
+            origin := List.filter (fun o -> o <> j) !origin
+          end
+          else
+            (* C_j is load-bearing for C_i: reserve it so it does not
+               seed its own subsequence. *)
+            Hashtbl.replace reserved j ()
+      done;
+      out := Prog_cov.observe ~exec !p' :: !out
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,18 @@
+(** Sequence minimization — the paper's Algorithm 1.
+
+    Given a test case and the new coverage achieved by each of its
+    calls, extract independent, non-repetitive minimized subsequences:
+    for each call [C_i] that triggered new coverage (walking backwards
+    and skipping calls already captured by another subsequence), take
+    the prefix ending at [C_i] and greedily try to remove each earlier
+    call; a removal is kept when [C_i]'s per-call coverage is
+    unchanged. *)
+
+val minimize :
+  exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
+  Prog_cov.t ->
+  Prog_cov.t list
+(** [minimize ~exec pc] where [pc] bundles the program, its per-call
+    coverage and per-call new coverage. Each returned subsequence ends
+    at a call that contributed new coverage. The [exec] callback is
+    also how execution cost is charged to the caller's clock. *)

@@ -1,0 +1,48 @@
+module Rng = Healer_util.Rng
+module Target = Healer_syzlang.Target
+module Prog = Healer_executor.Prog
+
+let mutate_args rng target (p : Prog.t) =
+  if Prog.length p = 0 then p
+  else begin
+    let k = Rng.int rng (Prog.length p) in
+    let c = Prog.call p k in
+    let ctx =
+      {
+        Value_gen.target;
+        producers = (fun kind -> Builder.producers_for target p ~upto:k kind);
+      }
+    in
+    let args = Value_gen.mutate_args rng ctx c.Prog.syscall c.Prog.args in
+    let calls = Array.copy p.Prog.calls in
+    calls.(k) <- { c with Prog.args };
+    { Prog.calls }
+  end
+
+let insert_one rng target ~select p =
+  if Prog.length p >= Builder.max_prog_len then p
+  else begin
+    let at = Rng.int rng (Prog.length p + 1) in
+    let sub = Gen.syscall_ids p ~upto:at in
+    let id = select ~sub in
+    Builder.insert_call rng target p ~at (Target.syscall target id)
+  end
+
+let insert_guided rng target ~select p =
+  if Prog.length p >= Builder.max_prog_len then mutate_args rng target p
+  else begin
+    let n = if Rng.chance rng 0.4 then 2 else 1 in
+    let rec go k p = if k = 0 then p else go (k - 1) (insert_one rng target ~select p) in
+    go n p
+  end
+
+let remove_random rng (p : Prog.t) =
+  if Prog.length p <= 1 then p else Prog.remove p (Rng.int rng (Prog.length p))
+
+let mutate rng target ~select p =
+  if Prog.length p = 0 then p
+  else
+    match Rng.weighted rng [ (`Insert, 60); (`Args, 30); (`Remove, 10) ] with
+    | `Insert -> insert_guided rng target ~select p
+    | `Args -> mutate_args rng target p
+    | `Remove -> remove_random rng p

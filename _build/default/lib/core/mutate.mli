@@ -1,0 +1,15 @@
+(** Test-case mutation (paper Section 4.2).
+
+    The dominant operator inserts a new call at a random point, chosen
+    by the caller-provided selection function fed with the preceding
+    sub-sequence (Algorithm 3 for HEALER). Argument mutation and call
+    removal complete the operator set. *)
+
+val mutate :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  select:(sub:int list -> int) ->
+  Healer_executor.Prog.t ->
+  Healer_executor.Prog.t
+(** Never returns an empty program; falls back to argument mutation on
+    singleton sequences. *)

@@ -1,0 +1,51 @@
+module Prog = Healer_executor.Prog
+module Serializer = Healer_executor.Serializer
+
+exception Corrupt of string
+
+let magic = "HLRDB1\n"
+
+let corpus_to_string progs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  List.iter
+    (fun p ->
+      let encoded = Serializer.encode p in
+      Serializer.put_uvarint buf (Int64.of_int (String.length encoded));
+      Buffer.add_string buf encoded)
+    progs;
+  Buffer.contents buf
+
+let corpus_of_string target s =
+  let n = String.length s in
+  if n < String.length magic || String.sub s 0 (String.length magic) <> magic then
+    raise (Corrupt "bad corpus magic");
+  let pos = ref (String.length magic) in
+  let progs = ref [] in
+  (try
+     while !pos < n do
+       let len = Int64.to_int (Serializer.get_uvarint s pos) in
+       if len < 0 || !pos + len > n then raise (Corrupt "truncated entry");
+       let entry = String.sub s !pos len in
+       pos := !pos + len;
+       progs := Serializer.decode target entry :: !progs
+     done
+   with Serializer.Malformed msg -> raise (Corrupt msg));
+  List.rev !progs
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_corpus ~path progs = write_file path (corpus_to_string progs)
+let load_corpus target ~path = corpus_of_string target (read_file path)
+let save_relations ~path table = write_file path (Relation_table.serialize table)
+let load_relations ~path = Relation_table.deserialize (read_file path)

@@ -1,0 +1,20 @@
+(** Persistence of fuzzing state across campaigns: corpus archives (the
+    syz-db analogue) and learned-relation files (HEALER's [-r] flag).
+
+    Corpus archives are binary: a magic header, then each program as a
+    length-prefixed {!Healer_executor.Serializer} encoding. Relation
+    files are the text format of {!Relation_table.serialize}. *)
+
+exception Corrupt of string
+
+val corpus_to_string : Healer_executor.Prog.t list -> string
+
+val corpus_of_string :
+  Healer_syzlang.Target.t -> string -> Healer_executor.Prog.t list
+(** Raises {!Corrupt} on malformed archives. *)
+
+val save_corpus : path:string -> Healer_executor.Prog.t list -> unit
+val load_corpus : Healer_syzlang.Target.t -> path:string -> Healer_executor.Prog.t list
+
+val save_relations : path:string -> Relation_table.t -> unit
+val load_relations : path:string -> Relation_table.t

@@ -1,0 +1,20 @@
+module Prog = Healer_executor.Prog
+module Exec = Healer_executor.Exec
+
+type t = {
+  prog : Prog.t;
+  cov : int list array;
+  new_cov : int list array;
+}
+
+let cov_of_run (r : Exec.run_result) =
+  Array.map (fun (cr : Exec.call_result) -> cr.Exec.cov) r.Exec.calls
+
+let of_run prog r ~new_cov = { prog; cov = cov_of_run r; new_cov }
+
+let observe ~exec prog =
+  let r = exec prog in
+  { prog; cov = cov_of_run r; new_cov = Array.make (Prog.length prog) [] }
+
+let call_cov t i = t.cov.(i)
+let length t = Prog.length t.prog

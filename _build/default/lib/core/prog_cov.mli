@@ -1,0 +1,21 @@
+(** A program bundled with the coverage observations of one run:
+    per-call full coverage and per-call {e new} coverage relative to
+    the global bitmap at the time it ran. This is the unit of work
+    flowing from the fuzzing loop into minimization and relation
+    learning. *)
+
+type t = {
+  prog : Healer_executor.Prog.t;
+  cov : int list array;  (** Full branch set per call. *)
+  new_cov : int list array;  (** Newly discovered branches per call. *)
+}
+
+val of_run :
+  Healer_executor.Prog.t -> Healer_executor.Exec.run_result -> new_cov:int list array -> t
+
+val observe : exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) -> Healer_executor.Prog.t -> t
+(** Run the program once and record coverage, with empty [new_cov]
+    (used when re-observing a candidate subsequence). *)
+
+val call_cov : t -> int -> int list
+val length : t -> int

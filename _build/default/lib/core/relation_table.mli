@@ -1,0 +1,56 @@
+(** HEALER's relation table (paper Section 4.1).
+
+    A two-dimensional boolean table over the n syscalls of the target:
+    [get t i j] is true when call [i] is known to influence call [j]'s
+    execution path. Entries start unknown (false) and are set by static
+    and dynamic relation learning; they are never cleared during a
+    campaign.
+
+    The table maintains per-row adjacency lists so that Algorithm 3 can
+    enumerate the candidates influenced by a call in O(out-degree). *)
+
+type t
+
+val create : int -> t
+(** [create n] for a target with [n] syscalls. *)
+
+val size : t -> int
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> bool
+(** [set t i j] records that [i] influences [j]; returns true when the
+    entry was previously unknown (a newly learned relation).
+    Self-relations [i = j] are ignored (returns false). *)
+
+val count : t -> int
+(** Number of learned relations (set entries). *)
+
+val influenced_by : t -> int -> int list
+(** [influenced_by t i] = all [j] with [get t i j], unordered. *)
+
+val influencers_of : t -> int -> int list
+(** [influencers_of t j] = all [i] with [get t i j], unordered. *)
+
+val edges : t -> (int * int) list
+(** All learned (i, j) pairs, lexicographic. *)
+
+val copy : t -> t
+
+val merge_into : dst:t -> t -> int
+(** Union [src] into [dst]; returns how many entries were new. *)
+
+val out_degree : t -> int -> int
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** {2 Persistence}
+
+    HEALER can reuse relations learned by an earlier campaign (the
+    original tool's [-r] flag). The format is a plain text header line
+    [healer-relations <n>] followed by one [i j] pair per line. *)
+
+val serialize : t -> string
+
+val deserialize : string -> t
+(** Raises [Invalid_argument] on malformed input or out-of-range
+    pairs. *)

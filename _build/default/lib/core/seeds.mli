@@ -1,0 +1,13 @@
+(** Synthetic trace corpus standing in for Moonshine's strace'd
+    handwritten test suites (LTP etc.).
+
+    Each trace is a plausible test program for one kernel subsystem
+    with unrelated noise calls interleaved, so that distillation has
+    both real dependencies to keep and junk to discard. Traces are
+    deterministic for a given seed. *)
+
+val traces : ?seed:int -> Healer_syzlang.Target.t -> Healer_executor.Prog.t list
+
+val distilled : ?seed:int -> Healer_syzlang.Target.t -> Healer_executor.Prog.t list
+(** [Distill.distill] applied to {!traces} — the [strong_distill.db]
+    analogue used as Moonshine's initial corpus. *)

@@ -1,0 +1,25 @@
+module Rng = Healer_util.Rng
+
+type outcome = { id : int; used_table : bool }
+
+let random_call rng table =
+  { id = Rng.int rng (Relation_table.size table); used_table = false }
+
+let select rng table ~alpha ~sub =
+  if Rng.float rng 1.0 > alpha then random_call rng table
+  else begin
+    let m : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun ci ->
+        List.iter
+          (fun cj ->
+            let w = match Hashtbl.find_opt m cj with Some w -> w | None -> 0 in
+            Hashtbl.replace m cj (w + 1))
+          (Relation_table.influenced_by table ci))
+      sub;
+    if Hashtbl.length m = 0 then random_call rng table
+    else
+      let choices = Hashtbl.fold (fun id w acc -> (id, w) :: acc) m [] in
+      let choices = List.sort compare choices in
+      { id = Rng.weighted rng choices; used_table = true }
+  end

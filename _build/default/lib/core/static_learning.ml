@@ -1,0 +1,37 @@
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+
+(* Compatibility here is the *specific* one: the consumer expects the
+   produced kind or its immediate parent. Walking inheritance all the
+   way to the root (every fd producer influencing every generic fd
+   consumer) would make the table dense and uninformative; the paper's
+   Table 3 reports ~5878 learned relations over 3579 calls — a sparse,
+   locally dense graph — so the static rule cannot be root-compatible.
+   Generic edges that actually matter are picked up dynamically, since
+   removing the producer visibly changes the consumer's coverage. *)
+let specific_match _target ~consumed ~produced =
+  List.exists (fun r0 -> List.exists (String.equal r0) consumed) produced
+
+let learn target table =
+  let calls = Target.syscalls target in
+  let added = ref 0 in
+  Array.iter
+    (fun (ci : Syscall.t) ->
+      let produced = Target.produces target ci in
+      if produced <> [] then
+        Array.iter
+          (fun (cj : Syscall.t) ->
+            if ci.Syscall.id <> cj.Syscall.id then
+              let consumed = Target.consumes target cj in
+              if
+                specific_match target ~consumed ~produced
+                && Relation_table.set table ci.Syscall.id cj.Syscall.id
+              then incr added)
+          calls)
+    calls;
+  !added
+
+let initial_table target =
+  let table = Relation_table.create (Target.n_syscalls target) in
+  ignore (learn target table);
+  table

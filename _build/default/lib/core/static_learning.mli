@@ -1,0 +1,17 @@
+(** Static relation learning (paper Section 4.1, "Static Learning").
+
+    [C_i] influences [C_j] — R(i,j) = 1 — when:
+    + [C_i]'s return type is a resource kind r0, or one of its
+      parameters is a pointer to a resource with outward data flow; and
+    + at least one of [C_j]'s parameters is a resource kind r1 with
+      inward data flow such that r0 is compatible with r1 (r0 equals r1
+      or inherits from it).
+
+    This initializes the relation table once from the compiled
+    descriptions; dynamic learning refines it during the campaign. *)
+
+val learn : Healer_syzlang.Target.t -> Relation_table.t -> int
+(** Populate the table; returns the number of relations added. *)
+
+val initial_table : Healer_syzlang.Target.t -> Relation_table.t
+(** Fresh table with static relations applied. *)

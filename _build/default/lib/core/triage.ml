@@ -1,0 +1,79 @@
+module Prog = Healer_executor.Prog
+module Exec = Healer_executor.Exec
+module Crash = Healer_kernel.Crash
+module Risk = Healer_kernel.Risk
+
+type record = {
+  bug_key : string;
+  risk : Risk.t;
+  signature : string;
+  first_found : float;
+  reproducer : Prog.t;
+  repro_len : int;
+}
+
+type t = {
+  exec : Prog.t -> Exec.run_result;
+  table : (string, record) Hashtbl.t;
+  mutable order : record list;  (* reverse discovery order *)
+}
+
+let create ~exec = { exec; table = Hashtbl.create 32; order = [] }
+
+(* Symbolize the raw log; fall back to the report fields when the log
+   is unparsable (truncated console output). *)
+let signature_of_report (r : Crash.report) =
+  match Crash.symbolize r.Crash.log with
+  | Some (key, risk) -> Risk.to_string risk ^ ":" ^ key
+  | None -> Crash.signature r
+
+let crash_signature_of_run (r : Exec.run_result) =
+  match r.Exec.crash with
+  | Some report -> Some (signature_of_report report)
+  | None -> None
+
+let minimize_reproducer ~exec ~signature p =
+  let still_crashes q =
+    match crash_signature_of_run (exec q) with
+    | Some s -> String.equal s signature
+    | None -> false
+  in
+  let q = ref p in
+  let i = ref (Prog.length !q - 1) in
+  while !i >= 0 do
+    if Prog.length !q > 1 then begin
+      let candidate = Prog.remove !q !i in
+      if still_crashes candidate then q := candidate
+    end;
+    decr i
+  done;
+  !q
+
+let on_crash t ~vtime p (report : Crash.report) =
+  let signature = signature_of_report report in
+  if Hashtbl.mem t.table signature then false
+  else begin
+    (* Cut the program at the crashing call before minimizing: nothing
+       after it executed. *)
+    let prefix = Prog.sub p (min (Prog.length p) (report.Crash.call_index + 1)) in
+    let reproducer = minimize_reproducer ~exec:t.exec ~signature prefix in
+    let record =
+      {
+        bug_key = report.Crash.bug_key;
+        risk = report.Crash.risk;
+        signature;
+        first_found = vtime;
+        reproducer;
+        repro_len = Prog.length reproducer;
+      }
+    in
+    Hashtbl.replace t.table signature record;
+    t.order <- record :: t.order;
+    true
+  end
+
+let unique_count t = Hashtbl.length t.table
+let records t = List.rev t.order
+
+let found t bug_key =
+  List.find_opt (fun r -> String.equal r.bug_key bug_key) (records t)

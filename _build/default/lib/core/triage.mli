@@ -1,0 +1,48 @@
+(** Crash triage: symbolization, deduplication and reproducer
+    extraction (paper Section 4: "HEALER's crash reproduction component
+    will try to extract the smallest test case that can trigger the
+    crash").
+
+    Raw VM console logs are symbolized back to a stable bug signature
+    via {!Healer_kernel.Crash.symbolize}; the first time a signature is
+    seen, the triggering program is minimized down to the smallest
+    sub-program that still produces the same signature. *)
+
+type record = {
+  bug_key : string;
+  risk : Healer_kernel.Risk.t;
+  signature : string;
+  first_found : float;  (** Virtual time of first detection. *)
+  reproducer : Healer_executor.Prog.t;
+  repro_len : int;
+}
+
+type t
+
+val create : exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) -> t
+
+val on_crash :
+  t ->
+  vtime:float ->
+  Healer_executor.Prog.t ->
+  Healer_kernel.Crash.report ->
+  bool
+(** Process a crash; returns true when the signature is new (a unique
+    vulnerability). Reproducer minimization re-executes through the
+    [exec] callback, charging its cost to the caller's clock. *)
+
+val unique_count : t -> int
+val records : t -> record list
+(** Sorted by first_found. *)
+
+val found : t -> string -> record option
+(** Lookup by bug key. *)
+
+val minimize_reproducer :
+  exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
+  signature:string ->
+  Healer_executor.Prog.t ->
+  Healer_executor.Prog.t
+(** Exposed for tests: greedy call removal preserving the signature. *)
+
+val signature_of_report : Healer_kernel.Crash.report -> string

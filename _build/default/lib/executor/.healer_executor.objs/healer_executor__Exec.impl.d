@@ -1,0 +1,1 @@
+lib/executor/exec.ml: Array Healer_kernel Healer_syzlang Int List Prog Value

@@ -1,0 +1,1 @@
+lib/executor/exec.mli: Healer_kernel Prog

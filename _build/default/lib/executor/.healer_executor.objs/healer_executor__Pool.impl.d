@@ -1,0 +1,1 @@
+lib/executor/pool.ml: Array Vm

@@ -1,0 +1,1 @@
+lib/executor/pool.mli: Exec Healer_kernel Prog Vm

@@ -1,0 +1,1 @@
+lib/executor/prog.ml: Array Fmt Healer_syzlang Int List Printf Value

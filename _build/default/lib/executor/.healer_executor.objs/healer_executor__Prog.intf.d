@@ -1,0 +1,1 @@
+lib/executor/prog.mli: Format Healer_syzlang Value

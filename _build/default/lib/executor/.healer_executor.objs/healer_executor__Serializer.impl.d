@@ -1,0 +1,1 @@
+lib/executor/serializer.ml: Array Buffer Bytes Char Healer_syzlang Int64 List Printf Prog String Value

@@ -1,0 +1,1 @@
+lib/executor/serializer.mli: Buffer Healer_syzlang Prog

@@ -1,0 +1,1 @@
+lib/executor/value.ml: Bytes Fmt List

@@ -1,0 +1,1 @@
+lib/executor/value.mli: Format

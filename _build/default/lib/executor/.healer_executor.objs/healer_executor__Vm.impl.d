@@ -1,0 +1,1 @@
+lib/executor/vm.ml: Exec Healer_kernel

@@ -1,0 +1,1 @@
+lib/executor/vm.mli: Exec Healer_kernel Prog

@@ -1,0 +1,125 @@
+module K = Healer_kernel
+
+type call_result = {
+  retval : int64;
+  errno : K.Errno.t option;
+  cov : int list;
+  executed : bool;
+}
+
+type run_result = {
+  calls : call_result array;
+  crash : K.Crash.report option;
+}
+
+let skipped = { retval = -1L; errno = None; cov = []; executed = false }
+
+(* Resolve a symbolic value to a runtime argument. [results] holds the
+   return values of already-executed calls; a reference to a failed
+   call degrades to -1, which is how a real executor passes along an
+   invalid resource. *)
+let rec resolve results (v : Value.t) : K.Arg.t =
+  match v with
+  | Value.Int x -> K.Arg.Int x
+  | Value.Res_special x -> K.Arg.Int x
+  | Value.Res_ref i ->
+    let x =
+      if i >= 0 && i < Array.length results then
+        match results.(i) with
+        | Some { retval; errno = None; executed = true; _ } -> retval
+        | Some _ | None -> -1L
+      else -1L
+    in
+    K.Arg.Int x
+  | Value.Str s -> K.Arg.Str s
+  | Value.Buf b -> K.Arg.Buf b
+  | Value.Group vs -> K.Arg.Rec (List.map (resolve results) vs)
+  | Value.Ptr inner -> (
+    match resolve results inner with
+    | K.Arg.Rec _ as r -> r
+    | K.Arg.Str _ as s -> s
+    | K.Arg.Buf _ as b -> b
+    | K.Arg.Int _ as x -> K.Arg.Rec [ x ]
+    | K.Arg.Nothing -> K.Arg.Nothing)
+  | Value.Null -> K.Arg.Nothing
+  | Value.Vma a -> K.Arg.Int a
+
+let run ?fault_call ?(fresh_state = true) kernel (p : Prog.t) =
+  let kernel = if fresh_state then K.Kernel.reboot kernel else kernel in
+  let n = Prog.length p in
+  let results = Array.make n None in
+  let out = Array.make n skipped in
+  let cov = K.Coverage.create () in
+  let crash = ref None in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < n do
+    let idx = !i in
+    let c = Prog.call p idx in
+    let args = List.map (resolve results) c.Prog.args in
+    let fault = fault_call = Some idx in
+    K.Coverage.reset cov;
+    (try
+       let r = K.Kernel.exec_call kernel ~fault ~cov c.Prog.syscall args in
+       let cr =
+         {
+           retval = r.K.Ctx.ret;
+           errno = r.K.Ctx.err;
+           cov = K.Coverage.blocks cov;
+           executed = true;
+         }
+       in
+       out.(idx) <- cr;
+       results.(idx) <- Some cr
+     with K.Crash.Crash { bug_key; risk } ->
+       let call_name = c.Prog.syscall.Healer_syzlang.Syscall.name in
+       out.(idx) <-
+         {
+           retval = -1L;
+           errno = None;
+           cov = K.Coverage.blocks cov;
+           executed = true;
+         };
+       crash :=
+         Some
+           {
+             K.Crash.bug_key;
+             risk;
+             call_index = idx;
+             call_name;
+             log = K.Crash.render_log ~bug_key ~risk ~call_name;
+           };
+       stop := true);
+    (* A fault-injected call kills the executor process: the kernel
+       dumps core, which can itself crash (Listing 2), and the rest of
+       the program never runs. *)
+    if (not !stop) && fault then begin
+      K.Coverage.reset cov;
+      (try
+         K.Kernel.coredump kernel ~cov;
+         let prev = out.(idx) in
+         out.(idx) <- { prev with cov = prev.cov @ K.Coverage.blocks cov }
+       with K.Crash.Crash { bug_key; risk } ->
+         crash :=
+           Some
+             {
+               K.Crash.bug_key;
+               risk;
+               call_index = idx;
+               call_name = "coredump";
+               log = K.Crash.render_log ~bug_key ~risk ~call_name:"coredump";
+             });
+      stop := true
+    end;
+    incr i
+  done;
+  (kernel, { calls = out; crash = !crash })
+
+let cov_equal a b =
+  let sa = List.sort_uniq Int.compare a and sb = List.sort_uniq Int.compare b in
+  sa = sb
+
+let total_cov r =
+  Array.to_list r.calls
+  |> List.concat_map (fun cr -> cr.cov)
+  |> List.sort_uniq Int.compare

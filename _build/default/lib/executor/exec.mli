@@ -1,0 +1,40 @@
+(** Program execution against a booted simulated kernel.
+
+    Each run resolves the program's symbolic values, executes the
+    calls in order, and collects per-call branch coverage — the
+    feedback HEALER's minimization and dynamic relation learning
+    consume. A crash aborts the run; the remaining calls are not
+    executed (the guest has paniced). *)
+
+type call_result = {
+  retval : int64;
+  errno : Healer_kernel.Errno.t option;
+  cov : int list;  (** Branch ids covered by this call, first-hit order. *)
+  executed : bool;  (** False for calls after a crash / process kill. *)
+}
+
+type run_result = {
+  calls : call_result array;  (** One slot per program call. *)
+  crash : Healer_kernel.Crash.report option;
+}
+
+val run :
+  ?fault_call:int ->
+  ?fresh_state:bool ->
+  Healer_kernel.Kernel.t ->
+  Prog.t ->
+  Healer_kernel.Kernel.t * run_result
+(** [run kernel prog] executes [prog]. With [fresh_state] (default
+    true) the kernel is re-booted first, making runs reproducible —
+    the executor forks a pristine process per test case.
+    [fault_call i] injects an allocation failure into call [i]; the
+    process is then killed and the kernel runs its core-dump path
+    (which may itself crash). Returns the (possibly re-booted) kernel
+    and the result. *)
+
+val cov_equal : int list -> int list -> bool
+(** Set equality of two per-call coverage traces (order-insensitive),
+    the comparison both Algorithm 1 and Algorithm 2 perform. *)
+
+val total_cov : run_result -> int list
+(** Union of all per-call coverage, deduplicated. *)

@@ -1,0 +1,27 @@
+(** A pool of virtual machines, dispatched round-robin.
+
+    The paper's experiments give each fuzzer several QEMU instances;
+    the pool abstracts picking the next available one and aggregating
+    their statistics. *)
+
+type t
+
+val create :
+  ?san:Healer_kernel.Sanitizer.config ->
+  ?features:string list ->
+  version:Healer_kernel.Version.t ->
+  size:int ->
+  unit ->
+  t
+
+val size : t -> int
+val next : t -> Vm.t
+(** Round-robin choice. *)
+
+val run : t -> ?fault_call:int -> Prog.t -> Exec.run_result
+(** Run on the next VM. *)
+
+val total_execs : t -> int
+val total_crashes : t -> int
+val total_resets : t -> int
+val iter : (Vm.t -> unit) -> t -> unit

@@ -1,0 +1,76 @@
+module Syscall = Healer_syzlang.Syscall
+
+type call = { syscall : Syscall.t; args : Value.t list }
+type t = { calls : call array }
+
+let of_list calls = { calls = Array.of_list calls }
+let length p = Array.length p.calls
+
+let call p i =
+  if i < 0 || i >= Array.length p.calls then
+    invalid_arg (Printf.sprintf "Prog.call: index %d out of range" i);
+  p.calls.(i)
+
+let empty = { calls = [||] }
+let append p c = { calls = Array.append p.calls [| c |] }
+
+let map_call_refs f c = { c with args = List.map (Value.map_refs f) c.args }
+
+let remove p i =
+  if i < 0 || i >= length p then invalid_arg "Prog.remove: index out of range";
+  let fix j =
+    if j = i then Some (Value.Res_special (-1L))
+    else if j > i then Some (Value.Res_ref (j - 1))
+    else None
+  in
+  let calls =
+    Array.to_list p.calls
+    |> List.filteri (fun k _ -> k <> i)
+    |> List.map (map_call_refs fix)
+  in
+  of_list calls
+
+let insert p i c =
+  if i < 0 || i > length p then invalid_arg "Prog.insert: index out of range";
+  let fix j = if j >= i then Some (Value.Res_ref (j + 1)) else None in
+  let before = Array.sub p.calls 0 i |> Array.to_list in
+  let after =
+    Array.sub p.calls i (length p - i)
+    |> Array.to_list
+    |> List.map (map_call_refs fix)
+  in
+  of_list (before @ (c :: after))
+
+let sub p n =
+  if n < 0 || n > length p then invalid_arg "Prog.sub: bad length";
+  { calls = Array.sub p.calls 0 n }
+
+let refs_of_call c =
+  List.sort_uniq Int.compare (List.concat_map Value.refs c.args)
+
+let well_formed p =
+  let ok = ref true in
+  Array.iteri
+    (fun k c -> List.iter (fun i -> if i >= k || i < 0 then ok := false) (refs_of_call c))
+    p.calls;
+  !ok
+
+let uses_result_of p i =
+  let used = ref false in
+  Array.iteri
+    (fun k c -> if k > i && List.mem i (refs_of_call c) then used := true)
+    p.calls;
+  !used
+
+let pp ppf p =
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Fmt.cut ppf ();
+      let produces = c.syscall.Syscall.ret <> None in
+      if produces then Fmt.pf ppf "r%d = " i;
+      Fmt.pf ppf "%s(%a)" c.syscall.Syscall.name
+        Fmt.(list ~sep:(any ", ") Value.pp)
+        c.args)
+    p.calls
+
+let to_string p = Fmt.str "@[<v>%a@]" pp p

@@ -1,0 +1,42 @@
+(** Test-case programs: sequences of system calls with symbolic
+    arguments, in execution order.
+
+    Programs maintain the invariant that every [Res_ref i] inside call
+    [k] satisfies [i < k] (references point strictly backwards).
+    Editing operations ({!remove}, {!insert}) preserve it by shifting
+    or degrading references. *)
+
+type call = { syscall : Healer_syzlang.Syscall.t; args : Value.t list }
+type t = { calls : call array }
+
+val of_list : call list -> t
+val length : t -> int
+val call : t -> int -> call
+val empty : t
+
+val append : t -> call -> t
+
+val remove : t -> int -> t
+(** [remove p i] deletes call [i]. References to [i] degrade to
+    [Res_special (-1L)]; references to later calls shift down. *)
+
+val insert : t -> int -> call -> t
+(** [insert p i c] places [c] at index [i] (existing calls shift up;
+    their references are renumbered). The inserted call's own
+    references must already be valid for the prefix [0..i-1]. *)
+
+val sub : t -> int -> t
+(** [sub p n] is the prefix of length [n]. *)
+
+val refs_of_call : call -> int list
+val well_formed : t -> bool
+(** All references point strictly backwards. *)
+
+val uses_result_of : t -> int -> bool
+(** [uses_result_of p i] — does any later call reference call [i]? *)
+
+val pp : Format.formatter -> t -> unit
+(** Syzlang-program-like rendering: one call per line, results named
+    [r0], [r1], ... *)
+
+val to_string : t -> string

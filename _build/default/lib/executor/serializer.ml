@@ -1,0 +1,133 @@
+module Target = Healer_syzlang.Target
+
+exception Malformed of string
+
+let fail msg = raise (Malformed msg)
+let magic = "HLR1"
+
+let put_uvarint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = Int64.to_int (Int64.logand !v 0x7fL) in
+    v := Int64.shift_right_logical !v 7;
+    if Int64.equal !v 0L then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let get_uvarint s pos =
+  let v = ref 0L in
+  let shift = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !pos >= String.length s then fail "truncated varint";
+    if !shift > 63 then fail "varint too long";
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte land 0x7f)) !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
+
+let unzigzag v =
+  Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L))
+
+let put_svarint buf v = put_uvarint buf (zigzag v)
+let get_svarint s pos = unzigzag (get_uvarint s pos)
+
+let put_bytes buf b =
+  put_uvarint buf (Int64.of_int (Bytes.length b));
+  Buffer.add_bytes buf b
+
+let get_bytes s pos =
+  let n = Int64.to_int (get_uvarint s pos) in
+  if n < 0 || !pos + n > String.length s then fail "truncated bytes";
+  let b = Bytes.of_string (String.sub s !pos n) in
+  pos := !pos + n;
+  b
+
+let rec put_value buf (v : Value.t) =
+  match v with
+  | Value.Int x ->
+    Buffer.add_char buf '\000';
+    put_svarint buf x
+  | Value.Res_ref i ->
+    Buffer.add_char buf '\001';
+    put_uvarint buf (Int64.of_int i)
+  | Value.Res_special x ->
+    Buffer.add_char buf '\002';
+    put_svarint buf x
+  | Value.Str s ->
+    Buffer.add_char buf '\003';
+    put_bytes buf (Bytes.of_string s)
+  | Value.Buf b ->
+    Buffer.add_char buf '\004';
+    put_bytes buf b
+  | Value.Group vs ->
+    Buffer.add_char buf '\005';
+    put_uvarint buf (Int64.of_int (List.length vs));
+    List.iter (put_value buf) vs
+  | Value.Ptr inner ->
+    Buffer.add_char buf '\006';
+    put_value buf inner
+  | Value.Null -> Buffer.add_char buf '\007'
+  | Value.Vma a ->
+    Buffer.add_char buf '\b';
+    put_uvarint buf a
+
+let rec get_value s pos =
+  if !pos >= String.length s then fail "truncated value";
+  let tag = Char.code s.[!pos] in
+  incr pos;
+  match tag with
+  | 0 -> Value.Int (get_svarint s pos)
+  | 1 -> Value.Res_ref (Int64.to_int (get_uvarint s pos))
+  | 2 -> Value.Res_special (get_svarint s pos)
+  | 3 -> Value.Str (Bytes.to_string (get_bytes s pos))
+  | 4 -> Value.Buf (get_bytes s pos)
+  | 5 ->
+    let n = Int64.to_int (get_uvarint s pos) in
+    if n < 0 || n > 4096 then fail "group too large";
+    Value.Group (List.init n (fun _ -> get_value s pos))
+  | 6 -> Value.Ptr (get_value s pos)
+  | 7 -> Value.Null
+  | 8 -> Value.Vma (get_uvarint s pos)
+  | t -> fail (Printf.sprintf "unknown value tag %d" t)
+
+let encode (p : Prog.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  put_uvarint buf (Int64.of_int (Prog.length p));
+  Array.iter
+    (fun (c : Prog.call) ->
+      put_uvarint buf (Int64.of_int c.syscall.Healer_syzlang.Syscall.id);
+      put_uvarint buf (Int64.of_int (List.length c.args));
+      List.iter (put_value buf) c.args)
+    p.calls;
+  Buffer.contents buf
+
+let decode target s =
+  if String.length s < 4 || String.sub s 0 4 <> magic then fail "bad magic";
+  let pos = ref 4 in
+  let n = Int64.to_int (get_uvarint s pos) in
+  if n < 0 || n > 4096 then fail "call count out of range";
+  let calls =
+    List.init n (fun _ ->
+        let id = Int64.to_int (get_uvarint s pos) in
+        let syscall =
+          try Target.syscall target id
+          with Invalid_argument _ -> fail "unknown syscall id"
+        in
+        let argc = Int64.to_int (get_uvarint s pos) in
+        if argc < 0 || argc > 64 then fail "arg count out of range";
+        let args = List.init argc (fun _ -> get_value s pos) in
+        { Prog.syscall; args })
+  in
+  if !pos <> String.length s then fail "trailing bytes";
+  Prog.of_list calls

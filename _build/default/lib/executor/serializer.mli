@@ -1,0 +1,20 @@
+(** Compact binary program encoding.
+
+    This is the analogue of HEALER's ivshmem wire format: the fuzzer
+    serializes each test case into a compact byte string that the
+    in-guest executor decodes. Integers use LEB128 varints (zigzag for
+    signed payloads); the encoding is self-delimiting. *)
+
+exception Malformed of string
+
+val encode : Prog.t -> string
+
+val decode : Healer_syzlang.Target.t -> string -> Prog.t
+(** Raises {!Malformed} on truncated or corrupt input, or when a
+    syscall id does not exist in [target]. *)
+
+val put_uvarint : Buffer.t -> int64 -> unit
+(** Exposed for tests. *)
+
+val get_uvarint : string -> int ref -> int64
+(** Exposed for tests. Raises {!Malformed}. *)

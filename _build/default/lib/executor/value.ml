@@ -1,0 +1,36 @@
+type t =
+  | Int of int64
+  | Res_ref of int
+  | Res_special of int64
+  | Str of string
+  | Buf of bytes
+  | Group of t list
+  | Ptr of t
+  | Null
+  | Vma of int64
+
+let rec refs = function
+  | Res_ref i -> [ i ]
+  | Group vs -> List.concat_map refs vs
+  | Ptr v -> refs v
+  | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> []
+
+let rec map_refs f v =
+  match v with
+  | Res_ref i -> ( match f i with Some v' -> v' | None -> v)
+  | Group vs -> Group (List.map (map_refs f) vs)
+  | Ptr inner -> Ptr (map_refs f inner)
+  | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> v
+
+let equal = ( = )
+
+let rec pp ppf = function
+  | Int v -> Fmt.pf ppf "0x%Lx" v
+  | Res_ref i -> Fmt.pf ppf "r%d" i
+  | Res_special v -> Fmt.pf ppf "%Ld" v
+  | Str s -> Fmt.pf ppf "%S" s
+  | Buf b -> Fmt.pf ppf "\"%d bytes\"" (Bytes.length b)
+  | Group vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) vs
+  | Ptr v -> Fmt.pf ppf "&%a" pp v
+  | Null -> Fmt.string ppf "nil"
+  | Vma a -> Fmt.pf ppf "vma(0x%Lx)" a

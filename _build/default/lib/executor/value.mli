@@ -1,0 +1,26 @@
+(** Symbolic argument values of a test-case program.
+
+    Values are symbolic because resource arguments refer to the result
+    of an earlier call by index ([Res_ref]); the executor resolves them
+    at run time. *)
+
+type t =
+  | Int of int64  (** Scalars: ints, consts, flags, lens, procs. *)
+  | Res_ref of int  (** The resource produced by the call at index. *)
+  | Res_special of int64  (** A special value (e.g. [-1]) in a resource slot. *)
+  | Str of string
+  | Buf of bytes
+  | Group of t list  (** Struct or array payload. *)
+  | Ptr of t  (** Pointer to a payload. *)
+  | Null  (** Null pointer. *)
+  | Vma of int64  (** Address of a mapped region. *)
+
+val refs : t -> int list
+(** All call indices referenced (recursively). *)
+
+val map_refs : (int -> t option) -> t -> t
+(** [map_refs f v] replaces each [Res_ref i] by [f i] when it returns
+    [Some], recursively. Used to fix up references when calls move. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+module K = Healer_kernel
+
+type stats = {
+  mutable execs : int;
+  mutable crashes : int;
+  mutable resets : int;
+}
+
+type t = {
+  vm_id : int;
+  mutable kernel : K.Kernel.t;
+  mutable is_crashed : bool;
+  st : stats;
+}
+
+let create ?(san = K.Sanitizer.default) ?(features = []) ~version ~id () =
+  {
+    vm_id = id;
+    kernel = K.Kernel.boot ~san ~features ~version ();
+    is_crashed = false;
+    st = { execs = 0; crashes = 0; resets = 0 };
+  }
+
+let id vm = vm.vm_id
+let crashed vm = vm.is_crashed
+
+let reset vm =
+  if vm.is_crashed then begin
+    vm.kernel <- K.Kernel.reboot vm.kernel;
+    vm.is_crashed <- false;
+    vm.st.resets <- vm.st.resets + 1
+  end
+
+let run vm ?fault_call prog =
+  reset vm;
+  let kernel, result = Exec.run ?fault_call vm.kernel prog in
+  vm.kernel <- kernel;
+  vm.st.execs <- vm.st.execs + 1;
+  (match result.Exec.crash with
+  | Some _ ->
+    vm.is_crashed <- true;
+    vm.st.crashes <- vm.st.crashes + 1
+  | None -> ());
+  result
+
+let stats vm = vm.st
+let version vm = K.Kernel.version vm.kernel

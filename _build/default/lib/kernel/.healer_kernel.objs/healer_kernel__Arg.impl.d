@@ -1,0 +1,1 @@
+lib/kernel/arg.ml: Bytes Fmt Int64 List

@@ -1,0 +1,1 @@
+lib/kernel/blockdev.ml: Arg Coverage Ctx Errno Int64 List Memfd Sock State Subsystem Vfs

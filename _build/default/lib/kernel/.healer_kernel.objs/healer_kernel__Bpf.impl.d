@@ -1,0 +1,1 @@
+lib/kernel/bpf.ml: Arg Bytes Coverage Ctx Errno Int64 List Netdev Sock Sock_misc State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/bug.ml: Fmt Hashtbl List Printf Risk Version

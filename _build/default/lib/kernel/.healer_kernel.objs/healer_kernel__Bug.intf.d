@@ -1,0 +1,1 @@
+lib/kernel/bug.mli: Format Risk Version

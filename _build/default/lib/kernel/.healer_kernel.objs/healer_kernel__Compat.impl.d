@@ -1,0 +1,1 @@
+lib/kernel/compat.ml: Arg Coverage Ctx Errno Int64 List String Subsystem

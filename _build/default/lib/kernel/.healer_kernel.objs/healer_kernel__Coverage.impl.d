@@ -1,0 +1,1 @@
+lib/kernel/coverage.ml: Hashtbl List Printf

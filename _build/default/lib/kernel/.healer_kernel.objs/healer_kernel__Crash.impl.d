@@ -1,0 +1,1 @@
+lib/kernel/crash.ml: Bug Char Fmt Hashtbl Int64 Lazy List Printf Risk String

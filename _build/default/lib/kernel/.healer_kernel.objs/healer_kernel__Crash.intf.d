@@ -1,0 +1,1 @@
+lib/kernel/crash.mli: Format Risk

@@ -1,0 +1,1 @@
+lib/kernel/ctx.ml: Bug Coverage Crash Errno Int64 List Sanitizer State

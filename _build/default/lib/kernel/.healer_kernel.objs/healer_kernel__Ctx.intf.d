@@ -1,0 +1,1 @@
+lib/kernel/ctx.mli: Coverage Errno Sanitizer State Version

@@ -1,0 +1,1 @@
+lib/kernel/fbdev.mli: State Subsystem

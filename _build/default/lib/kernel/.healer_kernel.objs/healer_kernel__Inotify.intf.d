@@ -1,0 +1,1 @@
+lib/kernel/inotify.mli: State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/ipc.ml: Arg Array Bytes Coverage Ctx Errno Hashtbl Int64 State Subsystem

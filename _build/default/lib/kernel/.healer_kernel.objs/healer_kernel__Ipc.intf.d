@@ -1,0 +1,1 @@
+lib/kernel/ipc.mli: Hashtbl State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/jfs.mli: State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Arg Coverage Ctx Healer_syzlang Sanitizer State Subsystem Version

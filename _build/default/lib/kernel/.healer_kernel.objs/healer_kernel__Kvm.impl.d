@@ -1,0 +1,1 @@
+lib/kernel/kvm.ml: Arg Coverage Ctx Errno Int64 List State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/kvm.mli: State Subsystem

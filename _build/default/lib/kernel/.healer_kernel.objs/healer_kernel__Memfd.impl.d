@@ -1,0 +1,1 @@
+lib/kernel/memfd.ml: Arg Bytes Coverage Ctx Errno Int64 State String Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/memfd.mli: State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/mounts.ml: Arg Bytes Coverage Ctx Errno Int64 List State Subsystem

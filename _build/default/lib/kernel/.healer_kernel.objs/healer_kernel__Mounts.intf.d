@@ -1,0 +1,1 @@
+lib/kernel/mounts.mli: State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/netdev.ml: Arg Bytes Char Coverage Ctx Errno Hashtbl Int64 State String Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/rdma.ml: Arg Coverage Ctx Errno Hashtbl Int64 State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/rdma.mli: Hashtbl State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/sanitizer.ml: Fmt Risk

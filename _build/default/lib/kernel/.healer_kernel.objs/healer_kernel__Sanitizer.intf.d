@@ -1,0 +1,1 @@
+lib/kernel/sanitizer.mli: Format Risk

@@ -1,0 +1,1 @@
+lib/kernel/sock.ml: Arg Bytes Coverage Ctx Errno Hashtbl Int64 List State Subsystem

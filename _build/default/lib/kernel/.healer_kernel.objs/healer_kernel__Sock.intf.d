@@ -1,0 +1,1 @@
+lib/kernel/sock.mli: State Subsystem

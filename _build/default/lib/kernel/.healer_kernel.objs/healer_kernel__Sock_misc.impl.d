@@ -1,0 +1,1 @@
+lib/kernel/sock_misc.ml: Arg Bytes Coverage Ctx Errno Int64 List State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/sock_misc.mli: State Subsystem

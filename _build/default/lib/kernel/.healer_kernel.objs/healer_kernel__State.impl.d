@@ -1,0 +1,1 @@
+lib/kernel/state.ml: Hashtbl Int List Version

@@ -1,0 +1,1 @@
+lib/kernel/subsystem.ml: Arg Ctx List State String

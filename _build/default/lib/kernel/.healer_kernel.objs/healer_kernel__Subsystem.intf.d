@@ -1,0 +1,1 @@
+lib/kernel/subsystem.mli: Arg Ctx State

@@ -1,0 +1,1 @@
+lib/kernel/tty.ml: Arg Bytes Coverage Ctx Errno Int64 State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/tty.mli: State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/uring.ml: Arg Coverage Ctx Errno Int64 State Subsystem

@@ -1,0 +1,1 @@
+lib/kernel/usb.ml: Arg Bytes Char Coverage Ctx Errno Int64 State Subsystem

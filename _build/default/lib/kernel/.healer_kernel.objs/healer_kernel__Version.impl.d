@@ -1,0 +1,1 @@
+lib/kernel/version.ml: Fmt Int

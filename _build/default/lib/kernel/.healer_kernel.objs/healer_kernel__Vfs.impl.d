@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Arg Bytes Coverage Ctx Errno Hashtbl Int64 List State String Subsystem

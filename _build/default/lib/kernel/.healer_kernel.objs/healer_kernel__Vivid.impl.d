@@ -1,0 +1,1 @@
+lib/kernel/vivid.ml: Arg Coverage Ctx Errno Int64 State Subsystem

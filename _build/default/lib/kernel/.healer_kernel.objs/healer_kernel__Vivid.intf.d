@@ -1,0 +1,1 @@
+lib/kernel/vivid.mli: State Subsystem

@@ -1,0 +1,21 @@
+(** Block subsystem: NBD devices, loop devices and partition tables.
+
+    Injected bugs: [nbd_disconnect_and_put], [put_device],
+    [disk_part_iter_uaf], [blk_add_partitions]. *)
+
+type nbd = {
+  mutable sock : int option;  (** Backing socket fd. *)
+  mutable running : bool;
+  mutable disconnects : int;
+  mutable cleared : bool;
+}
+
+type loopdev = {
+  mutable backing : int option;  (** Backing file fd. *)
+  mutable partitions : int list;
+  mutable deleted_part : bool;
+}
+
+type State.fd_kind += Nbd of nbd | Loop of loopdev
+
+val sub : Subsystem.t

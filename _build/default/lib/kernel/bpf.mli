@@ -1,0 +1,26 @@
+(** BPF subsystem: maps, program loading with a verifier gate, socket
+    attachment and test runs.
+
+    The chain [MAP_CREATE -> MAP_UPDATE -> PROG_LOAD -> PROG_ATTACH ->
+    PROG_TEST_RUN] is the kind of deep, typed dependency structure
+    syzkaller's real BPF descriptions expose; attachment consumes a
+    socket, giving relation learning a cross-subsystem edge. No catalog
+    bugs live here. *)
+
+type bpf_map = {
+  key_size : int64;
+  value_size : int64;
+  max_entries : int64;
+  mutable entries : int;
+  mutable frozen : bool;
+}
+
+type bpf_prog = {
+  insn_count : int;
+  mutable attached_to : int option;  (** Socket fd when attached. *)
+  mutable test_runs : int;
+}
+
+type State.fd_kind += Bpf_map of bpf_map | Bpf_prog of bpf_prog
+
+val sub : Subsystem.t

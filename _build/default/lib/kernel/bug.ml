@@ -1,0 +1,284 @@
+type t = {
+  key : string;
+  title : string;
+  subsystem : string;
+  operations : string;
+  risk : Risk.t;
+  since : Version.t;
+  until_ : Version.t option;
+  known : bool;
+  table4 : bool;
+  repro_len : int;
+  requires : string option;
+}
+
+let v ?until_ ?requires ?(table4 = false) ~known ~risk ~since ~len ~sub ~ops ~title
+    key =
+  {
+    key;
+    title;
+    subsystem = sub;
+    operations = ops;
+    risk;
+    since;
+    until_;
+    known;
+    table4;
+    repro_len = len;
+    requires;
+  }
+
+open Risk
+open Version
+
+(* Table 4: previously-known vulnerabilities found only by HEALER in the
+   24-hour experiments. The paper's "Version" column is the kernel the
+   bug was found on; we model each as present exactly there. *)
+let table4_catalog =
+  [
+    v "console_unlock" ~title:"deadlock in console_unlock" ~sub:"TTY"
+      ~ops:"console_unlock" ~risk:Deadlock ~since:V5_11 ~until_:V5_11
+      ~known:true ~table4:true ~len:18;
+    v "put_device" ~title:"null-ptr-deref in put_device" ~sub:"Block"
+      ~ops:"put_device" ~risk:Null_ptr_deref ~since:V5_11 ~until_:V5_11
+      ~known:true ~table4:true ~len:8;
+    v "l2cap_chan_put" ~title:"refcount bug in l2cap_chan_put" ~sub:"Network"
+      ~ops:"l2cap_chan_put" ~risk:Refcount_bug ~since:V5_11 ~until_:V5_11
+      ~known:true ~table4:true ~len:7;
+    v "nbd_disconnect_and_put" ~title:"null-ptr-deref nbd_disconnect_and_put"
+      ~sub:"Block" ~ops:"nbd_disconnect_and_put" ~risk:Null_ptr_deref
+      ~since:V5_11 ~until_:V5_11 ~known:true ~table4:true ~len:6;
+    v "ioremap_page_range" ~title:"kernel bug in ioremap_page_range"
+      ~sub:"VFS" ~ops:"ioremap_page_range" ~risk:Kernel_bug ~since:V5_11
+      ~until_:V5_11 ~known:true ~table4:true ~len:6;
+    v "kvm_hv_irq_routing_update"
+      ~title:"null-ptr-deref in kvm_hv_irq_routing_update" ~sub:"KVM"
+      ~ops:"kvm_hv_irq_routing_update" ~risk:Null_ptr_deref ~since:V5_11
+      ~until_:V5_11 ~known:true ~table4:true ~len:6;
+    v "ieee802154_llsec_parse_key_id"
+      ~title:"null-ptr-deref in ieee802154_llsec_parse_key_id" ~sub:"Network"
+      ~ops:"ieee802154_llsec_parse_key_id" ~risk:Null_ptr_deref ~since:V5_11
+      ~until_:V5_11 ~known:true ~table4:true ~len:5;
+    v "bit_putcs" ~title:"out-of-bounds read in bit_putcs" ~sub:"Video"
+      ~ops:"bit_putcs" ~risk:Out_of_bounds ~since:V5_4 ~until_:V5_4
+      ~known:true ~table4:true ~len:8;
+    v "tpk_write" ~title:"kernel bug in tpk_write" ~sub:"TTY" ~ops:"tpk_write"
+      ~risk:Kernel_bug ~since:V5_4 ~until_:V5_4 ~known:true ~table4:true ~len:6;
+    v "nl802154_del_llsec_key" ~title:"null-ptr-deref nl802154_del_llsec_key"
+      ~sub:"Network" ~ops:"nl802154_del_llsec_key" ~risk:Null_ptr_deref
+      ~since:V5_4 ~until_:V5_4 ~known:true ~table4:true ~len:5;
+    v "llcp_sock_getname" ~title:"null-ptr-deref in llcp_sock_getname"
+      ~sub:"Network" ~ops:"llcp_sock_getname" ~risk:Null_ptr_deref ~since:V5_4
+      ~until_:V5_4 ~known:true ~table4:true ~len:5;
+    v "vivid_stop_generating_vid_cap"
+      ~title:"null-ptr-deref in vivid_stop_generating_vid_cap" ~sub:"Video"
+      ~ops:"vivid_stop_generating_vid_cap" ~risk:Null_ptr_deref ~since:V4_19
+      ~until_:V4_19 ~known:true ~table4:true ~len:10;
+    v "bitfill_aligned" ~title:"kernel bug in bitfill_aligned" ~sub:"Video"
+      ~ops:"bitfill_aligned" ~risk:Kernel_bug ~since:V4_19 ~until_:V4_19
+      ~known:true ~table4:true ~len:9;
+    v "fbcon_get_font" ~title:"out-of-bounds in fbcon_get_font" ~sub:"Video"
+      ~ops:"fbcon_get_font" ~risk:Out_of_bounds ~since:V4_19 ~until_:V4_19
+      ~known:true ~table4:true ~len:6;
+    v "vcs_write" ~title:"out-of-bounds in vcs_write" ~sub:"TTY"
+      ~ops:"vcs_write" ~risk:Out_of_bounds ~since:V4_19 ~until_:V4_19
+      ~known:true ~table4:true ~len:5;
+  ]
+
+(* The remaining previously-known bugs of the 24-hour experiment: 17
+   shallower bugs reachable by all tools, plus 3 that require USB
+   emulation, an executor feature HEALER does not support (the paper's
+   explanation for the 3 bugs Syzkaller/Moonshine found and HEALER did
+   not). Names are modeled on real syzbot reports. *)
+let known_shared_catalog =
+  [
+    v "memfd_create_warn" ~title:"WARNING in memfd_create" ~sub:"VFS"
+      ~ops:"memfd_create" ~risk:Kernel_bug ~since:V4_19 ~known:true ~len:1;
+    v "vfs_read_oob" ~title:"slab-out-of-bounds in vfs_read" ~sub:"VFS"
+      ~ops:"vfs_read" ~risk:Out_of_bounds ~since:V4_19 ~known:true ~len:2;
+    v "tcp_disconnect" ~title:"null-ptr-deref in tcp_disconnect" ~sub:"Network"
+      ~ops:"tcp_disconnect" ~risk:Null_ptr_deref ~since:V4_19 ~known:true ~len:2;
+    v "raw_sendmsg_uninit" ~title:"uninit-value in raw_sendmsg" ~sub:"Network"
+      ~ops:"raw_sendmsg" ~risk:Uninit_value ~since:V4_19 ~known:true ~len:2;
+    v "tty_init_dev_leak" ~title:"memory leak in tty_init_dev" ~sub:"TTY"
+      ~ops:"tty_init_dev" ~risk:Memory_leak ~since:V4_19 ~known:true ~len:2;
+    v "fb_set_var_div" ~title:"divide error in fb_set_var" ~sub:"Video"
+      ~ops:"fb_set_var" ~risk:Divide_error ~since:V4_19 ~known:true ~len:3;
+    v "kvm_arch_vcpu_ioctl_warn" ~title:"WARNING in kvm_arch_vcpu_ioctl"
+      ~sub:"KVM" ~ops:"kvm_arch_vcpu_ioctl" ~risk:Kernel_bug ~since:V4_19
+      ~known:true ~len:3;
+    v "io_ring_exit_work" ~title:"WARNING in io_ring_exit_work" ~sub:"IO-uring"
+      ~ops:"io_ring_exit_work" ~risk:Kernel_bug ~since:V5_4 ~known:true ~len:3;
+    v "disk_part_iter_uaf" ~title:"use-after-free in disk_part_iter_next"
+      ~sub:"Block" ~ops:"disk_part_iter_next" ~risk:Use_after_free ~since:V4_19
+      ~known:true ~len:3;
+    v "ext4_writepages_bug" ~title:"kernel BUG in ext4_writepages" ~sub:"Ext4"
+      ~ops:"ext4_writepages" ~risk:Kernel_bug ~since:V4_19 ~known:true ~len:3;
+    v "unix_release_refcount" ~title:"refcount bug in unix_release_sock"
+      ~sub:"Network" ~ops:"unix_release_sock" ~risk:Refcount_bug ~since:V4_19
+      ~known:true ~len:3;
+    v "ucma_create_id_leak" ~title:"memory leak in ucma_create_id" ~sub:"Rdma"
+      ~ops:"ucma_create_id" ~risk:Memory_leak ~since:V4_19 ~known:true ~len:2;
+    v "v4l2_queryctrl_oob" ~title:"out-of-bounds in v4l2_queryctrl" ~sub:"Video"
+      ~ops:"v4l2_queryctrl" ~risk:Out_of_bounds ~since:V4_19 ~known:true ~len:3;
+    v "llcp_sock_bind_uninit" ~title:"uninit-value in llcp_sock_bind"
+      ~sub:"Network" ~ops:"llcp_sock_bind" ~risk:Uninit_value ~since:V4_19
+      ~known:true ~len:2;
+    v "do_umount_null" ~title:"null-ptr-deref in do_umount" ~sub:"VFS"
+      ~ops:"do_umount" ~risk:Null_ptr_deref ~since:V4_19 ~known:true ~len:2;
+    v "dev_ioctl_warn" ~title:"WARNING in dev_ioctl" ~sub:"Network"
+      ~ops:"dev_ioctl" ~risk:Kernel_bug ~since:V4_19 ~known:true ~len:2;
+    v "search_memslots" ~title:"out-of-bounds in search_memslots" ~sub:"KVM"
+      ~ops:"search_memslots" ~risk:Out_of_bounds ~since:V4_19 ~known:true
+      ~len:5;
+    (* USB bugs: the executor feature "usb" is present in Syzkaller and
+       Moonshine configurations only. *)
+    v "hub_activate_uaf" ~title:"use-after-free in hub_activate" ~sub:"USB"
+      ~ops:"hub_activate" ~risk:Use_after_free ~since:V4_19 ~known:true ~len:2
+      ~requires:"usb";
+    v "usb_parse_configuration_oob"
+      ~title:"out-of-bounds in usb_parse_configuration" ~sub:"USB"
+      ~ops:"usb_parse_configuration" ~risk:Out_of_bounds ~since:V4_19
+      ~known:true ~len:2 ~requires:"usb";
+    v "gadget_setup_null" ~title:"null-ptr-deref in gadget_setup" ~sub:"USB"
+      ~ops:"gadget_setup" ~risk:Null_ptr_deref ~since:V4_19 ~known:true ~len:3
+      ~requires:"usb";
+  ]
+
+(* Table 5: the 33 previously-unknown vulnerabilities, with the paper's
+   Subsystem / Operations / Risk / Version-introduced columns. *)
+let table5_catalog =
+  [
+    v "ext4_mark_iloc_dirty" ~sub:"Ext4"
+      ~ops:"ext4_mark_iloc_dirty / jbd2_journal_commit_transaction"
+      ~title:"data race in ext4_mark_iloc_dirty" ~risk:Data_race ~since:V5_11
+      ~known:false ~len:6;
+    v "jbd2_journal_file_buffer" ~sub:"Ext4"
+      ~ops:"__jbd2_journal_file_buffer / jbd2_journal_dirty_metadata"
+      ~title:"data race in __jbd2_journal_file_buffer" ~risk:Data_race
+      ~since:V5_11 ~known:false ~len:6;
+    v "ext4_handle_dirty_metadata" ~sub:"Ext4"
+      ~ops:"__ext4_handle_dirty_metadata / jbd2_journal_commit_transaction"
+      ~title:"data race in __ext4_handle_dirty_metadata" ~risk:Data_race
+      ~since:V5_11 ~known:false ~len:7;
+    v "ext4_fc_commit" ~sub:"Ext4" ~ops:"ext4_fc_commit / ext4_fc_commit"
+      ~title:"data race in ext4_fc_commit" ~risk:Data_race ~since:V5_11
+      ~known:false ~len:5;
+    v "fput_ep_remove" ~sub:"VFS" ~ops:"__fput / ep_remove"
+      ~title:"data race in __fput / ep_remove" ~risk:Data_race ~since:V5_11
+      ~known:false ~len:5;
+    v "e1000_clean" ~sub:"Network" ~ops:"e1000_clean / e1000_xmit_frame"
+      ~title:"data race in e1000_clean" ~risk:Data_race ~since:V5_11
+      ~known:false ~len:5;
+    v "cdev_del" ~sub:"VFS" ~ops:"cdev_del" ~title:"refcount bug in cdev_del"
+      ~risk:Refcount_bug ~since:V5_11 ~known:false ~len:6;
+    v "cma_cancel_operation" ~sub:"Rdma" ~ops:"cma_cancel_operation"
+      ~title:"use-after-free in cma_cancel_operation" ~risk:Use_after_free
+      ~since:V5_11 ~known:false ~len:7;
+    v "macvlan_broadcast" ~sub:"Network" ~ops:"macvlan_broadcast"
+      ~title:"use-after-free in macvlan_broadcast" ~risk:Use_after_free
+      ~since:V5_11 ~known:false ~len:6;
+    v "rdma_listen" ~sub:"Rdma" ~ops:"rdma_listen"
+      ~title:"use-after-free in rdma_listen" ~risk:Use_after_free ~since:V5_11
+      ~known:false ~len:7;
+    v "ieee802154_tx" ~sub:"Network" ~ops:"ieee802154_tx"
+      ~title:"use-after-free in ieee802154_tx" ~risk:Use_after_free
+      ~since:V5_11 ~known:false ~len:6;
+    v "qdisc_calculate_pkt_len" ~sub:"Network" ~ops:"__qdisc_calculate_pkt_len"
+      ~title:"out-of-bounds in __qdisc_calculate_pkt_len" ~risk:Out_of_bounds
+      ~since:V5_11 ~known:false ~len:5;
+    v "n_tty_open" ~sub:"TTY" ~ops:"n_tty_open"
+      ~title:"paging fault in n_tty_open" ~risk:Paging_fault ~since:V5_11
+      ~known:false ~len:6;
+    v "build_skb" ~sub:"Network" ~ops:"__build_skb"
+      ~title:"paging fault in __build_skb" ~risk:Paging_fault ~since:V5_11
+      ~known:false ~len:5;
+    v "kvm_vm_ioctl_unregister_coalesced_mmio" ~sub:"KVM"
+      ~ops:"kvm_vm_ioctl_unregister_coalesced_mmio"
+      ~title:"general protection fault in kvm_vm_ioctl_unregister_coalesced_mmio"
+      ~risk:General_protection_fault ~since:V5_11 ~known:false ~len:6;
+    v "blk_add_partitions" ~sub:"Block" ~ops:"blk_add_partitions"
+      ~title:"paging fault in blk_add_partitions" ~risk:Paging_fault
+      ~since:V5_11 ~known:false ~len:6;
+    v "kvm_io_bus_unregister_dev" ~sub:"KVM" ~ops:"kvm_io_bus_unregister_dev"
+      ~title:"memory leak in kvm_io_bus_unregister_dev" ~risk:Memory_leak
+      ~since:V5_11 ~known:false ~len:6;
+    v "io_uring_cancel_task_requests" ~sub:"IO-uring"
+      ~ops:"io_uring_cancel_task_requests"
+      ~title:"null-ptr-deref in io_uring_cancel_task_requests"
+      ~risk:Null_ptr_deref ~since:V5_11 ~known:false ~len:6;
+    v "gsmld_attach_gsm" ~sub:"TTY" ~ops:"gsmld_attach_gsm"
+      ~title:"null-ptr-deref in gsmld_attach_gsm" ~risk:Null_ptr_deref
+      ~since:V5_11 ~known:false ~len:5;
+    v "drop_nlink" ~sub:"VFS" ~ops:"drop_nlink / generic_fillattr"
+      ~title:"data race in drop_nlink" ~risk:Data_race ~since:V5_6 ~known:false
+      ~len:5;
+    v "kvm_gfn_to_hva_cache_init" ~sub:"KVM" ~ops:"kvm_gfn_to_hva_cache_init"
+      ~title:"out-of-bounds in kvm_gfn_to_hva_cache_init" ~risk:Out_of_bounds
+      ~since:V5_6 ~known:false ~len:6;
+    v "nfs23_parse_monolithic" ~sub:"NFS" ~ops:"nfs23_parse_monolithic"
+      ~title:"memory leak in nfs23_parse_monolithic" ~risk:Memory_leak
+      ~since:V5_6 ~known:false ~len:4;
+    v "rxrpc_lookup_local" ~sub:"Network" ~ops:"rxrpc_lookup_local"
+      ~title:"memory leak in rxrpc_lookup_local" ~risk:Memory_leak ~since:V5_6
+      ~known:false ~len:5;
+    v "fill_thread_core_info" ~sub:"VFS" ~ops:"fill_thread_core_info"
+      ~title:"uninit-value in fill_thread_core_info" ~risk:Uninit_value
+      ~since:V5_6 ~known:false ~len:4;
+    v "rds_ib_add_conn" ~sub:"Network" ~ops:"rds_ib_add_conn"
+      ~title:"null-ptr-deref in rds_ib_add_conn" ~risk:Null_ptr_deref
+      ~since:V5_6 ~known:false ~len:5;
+    v "vcs_scr_readw" ~sub:"TTY" ~ops:"vcs_scr_readw"
+      ~title:"out-of-bounds in vcs_scr_readw" ~risk:Out_of_bounds ~since:V5_0
+      ~known:false ~len:5;
+    v "n_tty_receive_buf_common" ~sub:"TTY" ~ops:"n_tty_receive_buf_common"
+      ~title:"use-after-free in n_tty_receive_buf_common" ~risk:Use_after_free
+      ~since:V5_0 ~known:false ~len:6;
+    v "soft_cursor" ~sub:"Video" ~ops:"soft_cursor"
+      ~title:"out-of-bounds in soft_cursor" ~risk:Out_of_bounds ~since:V5_0
+      ~known:false ~len:6;
+    v "io_submit_one" ~sub:"VFS" ~ops:"io_submit_one"
+      ~title:"deadlock in io_submit_one" ~risk:Deadlock ~since:V5_0
+      ~known:false ~len:6;
+    v "free_ioctx_users" ~sub:"VFS" ~ops:"free_ioctx_users"
+      ~title:"deadlock in free_ioctx_users" ~risk:Deadlock ~since:V5_0
+      ~known:false ~len:6;
+    v "fb_var_to_videomode" ~sub:"Video" ~ops:"fb_var_to_videomode"
+      ~title:"divide error in fb_var_to_videomode" ~risk:Divide_error
+      ~since:V4_19 ~known:false ~len:5;
+    v "fs_reclaim_acquire" ~sub:"VFS" ~ops:"fs_reclaim_acquire"
+      ~title:"inconsistent lock state in fs_reclaim_acquire"
+      ~risk:Inconsistent_lock_state ~since:V4_19 ~known:false ~len:6;
+    v "reiserfs_fill_super" ~sub:"Reiserfs" ~ops:"reiserfs_fill_super"
+      ~title:"kernel bug in reiserfs_fill_super" ~risk:Kernel_bug ~since:V4_19
+      ~known:false ~len:5;
+  ]
+
+let catalog = table4_catalog @ known_shared_catalog @ table5_catalog
+
+let by_key =
+  let tbl = Hashtbl.create 128 in
+  List.iter
+    (fun b ->
+      assert (not (Hashtbl.mem tbl b.key));
+      Hashtbl.add tbl b.key b)
+    catalog;
+  tbl
+
+let find key = Hashtbl.find_opt by_key key
+let find_exn key = Hashtbl.find by_key key
+
+let exists_in b version =
+  Version.at_least version b.since
+  && match b.until_ with None -> true | Some u -> Version.compare version u <= 0
+
+let known_bugs () = List.filter (fun b -> b.known) catalog
+let unknown_bugs () = List.filter (fun b -> not b.known) catalog
+let table4_bugs () = List.filter (fun b -> b.table4) catalog
+
+let pp ppf b =
+  Fmt.pf ppf "%s [%s, %a, since %a%s]" b.title b.subsystem Risk.pp b.risk
+    Version.pp b.since
+    (match b.until_ with
+    | None -> ""
+    | Some u -> Printf.sprintf ", until %s" (Version.to_string u))

@@ -1,0 +1,42 @@
+(** The injected vulnerability catalog.
+
+    Three populations, mirroring the paper's evaluation:
+    - the 35 previously-known bugs of the 24-hour experiment (Section
+      6.3), of which the 15 deep ones of Table 4 were found only by
+      HEALER and 3 require an executor feature (USB emulation) that
+      HEALER lacks;
+    - the 33 previously-unknown bugs of Table 5, surfacing in the
+      extended multi-version campaign;
+    - the two case-study bugs (Listing 1 [search_memslots] and Listing 2
+      [fill_thread_core_info]).
+
+    A bug fires when a simulated subsystem reaches its trigger condition
+    {e and} the bug exists in the booted kernel version {e and} an
+    enabled sanitizer covers its risk class. *)
+
+type t = {
+  key : string;  (** Stable identifier: the crashing kernel function. *)
+  title : string;  (** Human-readable title as printed in Table 4. *)
+  subsystem : string;  (** Table 5 "Subsystem" column. *)
+  operations : string;  (** Table 5 "Operations" column. *)
+  risk : Risk.t;
+  since : Version.t;  (** Present in kernels [>= since]... *)
+  until_ : Version.t option;  (** ... and [<= until_] when given. *)
+  known : bool;  (** Previously known (24h-experiment universe). *)
+  table4 : bool;  (** Listed in the paper's Table 4. *)
+  repro_len : int;  (** Minimal reproducing sequence length (Table 4). *)
+  requires : string option;  (** Executor feature needed to reach it. *)
+}
+
+val catalog : t list
+val find : string -> t option
+val find_exn : string -> t
+(** Raises [Not_found]. *)
+
+val exists_in : t -> Version.t -> bool
+val known_bugs : unit -> t list
+val unknown_bugs : unit -> t list
+(** The Table 5 population. *)
+
+val table4_bugs : unit -> t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+let blk = Coverage.region ~name:"compat" ~size:1024
+let c ctx o = Ctx.cover ctx (blk + o)
+
+(* Families of specialized scalar-argument calls. Each family is a
+   base name plus variant suffixes, mirroring how Syzlang specializes
+   one syscall into dozens of per-command descriptions. *)
+let families =
+  [
+    ( "prctl",
+      [ "PR_SET_NAME"; "PR_GET_NAME"; "PR_SET_DUMPABLE"; "PR_GET_DUMPABLE";
+        "PR_SET_SECCOMP"; "PR_GET_SECCOMP"; "PR_SET_TIMERSLACK";
+        "PR_GET_TIMERSLACK"; "PR_SET_CHILD_SUBREAPER"; "PR_GET_CHILD_SUBREAPER";
+        "PR_SET_THP_DISABLE"; "PR_GET_THP_DISABLE"; "PR_SET_NO_NEW_PRIVS";
+        "PR_GET_NO_NEW_PRIVS"; "PR_SET_PDEATHSIG"; "PR_GET_PDEATHSIG";
+        "PR_CAPBSET_READ"; "PR_CAPBSET_DROP"; "PR_SET_TSC"; "PR_GET_TSC" ] );
+    ( "clock_gettime",
+      [ "REALTIME"; "MONOTONIC"; "BOOTTIME"; "TAI"; "PROCESS_CPUTIME";
+        "THREAD_CPUTIME"; "MONOTONIC_RAW"; "REALTIME_COARSE" ] );
+    ( "keyctl",
+      [ "GET_KEYRING_ID"; "JOIN_SESSION"; "UPDATE"; "REVOKE"; "CHOWN";
+        "SETPERM"; "DESCRIBE"; "CLEAR"; "LINK"; "UNLINK"; "SEARCH"; "READ" ] );
+    ( "sched_setattr",
+      [ "NORMAL"; "FIFO"; "RR"; "BATCH"; "IDLE"; "DEADLINE" ] );
+    ( "setrlimit",
+      [ "CPU"; "FSIZE"; "DATA"; "STACK"; "CORE"; "RSS"; "NPROC"; "NOFILE";
+        "MEMLOCK"; "AS" ] );
+    ( "timer_create",
+      [ "REALTIME"; "MONOTONIC"; "BOOTTIME"; "REALTIME_ALARM" ] );
+    ( "getrandom", [ "DEFAULT"; "NONBLOCK"; "INSECURE" ] );
+    ( "seccomp", [ "SET_MODE_STRICT"; "SET_MODE_FILTER"; "GET_ACTION_AVAIL" ] );
+    ( "personality",
+      [ "LINUX"; "LINUX32"; "SVR4"; "UNAME26" ] );
+    ( "madvise",
+      [ "NORMAL"; "RANDOM"; "SEQUENTIAL"; "WILLNEED"; "DONTNEED"; "FREE";
+        "HUGEPAGE"; "NOHUGEPAGE"; "DONTDUMP"; "DODUMP" ] );
+    ( "sysctl",
+      [ "KERNEL_OSTYPE"; "KERNEL_OSRELEASE"; "KERNEL_VERSION"; "VM_SWAPPINESS";
+        "VM_OVERCOMMIT"; "NET_CORE_SOMAXCONN"; "FS_FILE_MAX"; "FS_NR_OPEN" ] );
+    ( "ioprio_set", [ "PROCESS"; "PGRP"; "USER" ] );
+    ( "getcpu", [ "CURRENT" ] );
+    ( "umask", [ "SET" ] );
+    ( "sync", [ "ALL" ] );
+    ( "membarrier", [ "QUERY"; "GLOBAL"; "PRIVATE_EXPEDITED" ] );
+    ( "rseq", [ "REGISTER"; "UNREGISTER" ] );
+    ( "capget", [ "V3" ] );
+    ( "capset", [ "V3" ] );
+    ( "times", [ "SELF" ] );
+  ]
+
+let names =
+  List.concat_map
+    (fun (base, variants) -> List.map (fun v -> base ^ "$" ^ v) variants)
+    families
+
+(* Each call owns one entry block plus (for every fourth call) one
+   value-dependent branch — shallow paths that any fuzzer exhausts
+   almost immediately. Their role is interface dilution, not
+   coverage. *)
+let handler idx ctx args =
+  let base = idx * 2 in
+  c ctx base;
+  let a = Arg.as_int (Arg.nth args 0) in
+  if idx mod 4 = 0 && Int64.compare a 0x10000L > 0 then c ctx (base + 1);
+  if Int64.compare a 0L < 0 then Ctx.err Errno.EINVAL else Ctx.ok0
+
+let descriptions =
+  "# Long-tail stateless interfaces.\n"
+  ^ String.concat "\n"
+      (List.map (fun name -> name ^ "(arg intptr, arg2 intptr)") names)
+  ^ "\n"
+
+let sub =
+  Subsystem.make ~name:"compat" ~descriptions
+    ~handlers:(List.mapi (fun idx name -> (name, handler idx)) names)
+    ()

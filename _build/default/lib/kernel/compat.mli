@@ -1,0 +1,14 @@
+(** Stateless "long tail" interfaces: prctl variants, clock queries,
+    scheduler tuning, resource limits, keyctl operations, ...
+
+    The real Syzlang corpus describes ~3600 interfaces, most of which
+    are irrelevant to any particular deep kernel path; call selection
+    matters precisely because of that dilution. This module
+    reconstructs the long tail compactly: a table of specialized calls
+    with scalar-only arguments, each owning a handful of quickly
+    exhausted branches and no influence relations with anything. *)
+
+val names : string list
+(** All generated syscall names (for tests). *)
+
+val sub : Subsystem.t

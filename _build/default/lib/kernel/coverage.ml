@@ -1,0 +1,47 @@
+type t = {
+  mutable hits : int list;  (* reverse first-hit order *)
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create () = { hits = []; seen = Hashtbl.create 64 }
+
+let hit t id =
+  if not (Hashtbl.mem t.seen id) then begin
+    Hashtbl.add t.seen id ();
+    t.hits <- id :: t.hits
+  end
+
+let blocks t = List.rev t.hits
+
+let reset t =
+  t.hits <- [];
+  Hashtbl.reset t.seen
+
+(* Region registry: global, deterministic for a fixed build since
+   regions are allocated from module initializers in link order. *)
+let regions : (string, int * int) Hashtbl.t = Hashtbl.create 32
+let ordered : (string * int * int) list ref = ref []
+let next_base = ref 0
+
+let region ~name ~size =
+  match Hashtbl.find_opt regions name with
+  | Some (base, sz) ->
+    if size > sz then
+      invalid_arg (Printf.sprintf "Coverage.region: %s re-registered larger" name);
+    base
+  | None ->
+    let base = !next_base in
+    Hashtbl.add regions name (base, size);
+    ordered := (name, base, size) :: !ordered;
+    next_base := base + size;
+    base
+
+let region_name id =
+  let rec find = function
+    | [] -> "?"
+    | (name, base, size) :: rest ->
+      if id >= base && id < base + size then name else find rest
+  in
+  find !ordered
+
+let total_allocated () = !next_base

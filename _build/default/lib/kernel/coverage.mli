@@ -1,0 +1,37 @@
+(** KCOV-style branch coverage collection.
+
+    Each simulated kernel subsystem allocates a contiguous region of
+    branch identifiers at module initialization; handlers then report
+    the blocks they pass through into a per-execution collector. The
+    executor snapshots the collector around each call to obtain
+    HEALER's per-call coverage. *)
+
+type t
+(** A coverage collector (one per executing virtual machine). *)
+
+val create : unit -> t
+
+val hit : t -> int -> unit
+(** Record that branch [id] was covered. Duplicate hits within one
+    collection window are collapsed. *)
+
+val blocks : t -> int list
+(** Covered branch ids in first-hit order since the last [reset]. *)
+
+val reset : t -> unit
+
+(** {2 Branch-id regions} *)
+
+val region : name:string -> size:int -> int
+(** [region ~name ~size] allocates (once per [name]) a region of [size]
+    consecutive branch ids and returns its base id. Calling it again
+    with the same [name] returns the same base. Raises
+    [Invalid_argument] if re-registered with a larger size. *)
+
+val region_name : int -> string
+(** [region_name id] is the name of the region containing branch [id],
+    or ["?"] if the id was never allocated. Used by the crash
+    symbolizer and by coverage reports. *)
+
+val total_allocated : unit -> int
+(** Total number of branch ids allocated across all regions. *)

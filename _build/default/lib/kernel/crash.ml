@@ -1,0 +1,128 @@
+exception Crash of { bug_key : string; risk : Risk.t }
+
+type report = {
+  bug_key : string;
+  risk : Risk.t;
+  call_index : int;
+  call_name : string;
+  log : string;
+}
+
+(* FNV-1a, stable across runs (unlike Hashtbl.hash we own the bits). *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let text_base = 0xffffffff81000000L
+
+let address_of key =
+  Int64.add text_base (Int64.logand (fnv1a key) 0xffffffL)
+
+let header_of_risk (risk : Risk.t) =
+  match risk with
+  | Risk.Use_after_free -> "BUG: KASAN: use-after-free in"
+  | Risk.Out_of_bounds -> "BUG: KASAN: slab-out-of-bounds in"
+  | Risk.Uninit_value -> "BUG: KMSAN: uninit-value in"
+  | Risk.Memory_leak -> "BUG: memory leak in"
+  | Risk.Data_race -> "BUG: KCSAN: data-race in"
+  | Risk.Null_ptr_deref -> "BUG: kernel NULL pointer dereference in"
+  | Risk.General_protection_fault -> "general protection fault in"
+  | Risk.Paging_fault -> "BUG: unable to handle page fault in"
+  | Risk.Divide_error -> "divide error in"
+  | Risk.Kernel_bug -> "kernel BUG in"
+  | Risk.Deadlock -> "INFO: task hung, possible deadlock in"
+  | Risk.Inconsistent_lock_state -> "inconsistent lock state in"
+  | Risk.Refcount_bug -> "refcount_t: underflow; use-after-free in"
+
+let risk_of_header line =
+  let has prefix = String.length line >= String.length prefix
+                   && String.sub line 0 (String.length prefix) = prefix in
+  if has "BUG: KASAN: use-after-free" then Some Risk.Use_after_free
+  else if has "BUG: KASAN: slab-out-of-bounds" then Some Risk.Out_of_bounds
+  else if has "BUG: KMSAN: uninit-value" then Some Risk.Uninit_value
+  else if has "BUG: memory leak" then Some Risk.Memory_leak
+  else if has "BUG: KCSAN: data-race" then Some Risk.Data_race
+  else if has "BUG: kernel NULL pointer dereference" then Some Risk.Null_ptr_deref
+  else if has "general protection fault" then Some Risk.General_protection_fault
+  else if has "BUG: unable to handle page fault" then Some Risk.Paging_fault
+  else if has "divide error" then Some Risk.Divide_error
+  else if has "kernel BUG" then Some Risk.Kernel_bug
+  else if has "INFO: task hung" then Some Risk.Deadlock
+  else if has "inconsistent lock state" then Some Risk.Inconsistent_lock_state
+  else if has "refcount_t" then Some Risk.Refcount_bug
+  else None
+
+(* Filler frames make the log realistic enough that naive parsing (grab
+   the first address) would symbolize the wrong frame; triage must use
+   the RIP line, as real syzkaller-style symbolization does. *)
+let render_log ~bug_key ~risk ~call_name =
+  let addr = address_of bug_key in
+  let noise1 = Int64.add text_base (Int64.logand (fnv1a (bug_key ^ ":t")) 0xffffffL) in
+  let noise2 = Int64.add text_base (Int64.logand (fnv1a (bug_key ^ ":u")) 0xffffffL) in
+  String.concat "\n"
+    [
+      Printf.sprintf "%s 0x%Lx" (header_of_risk risk) addr;
+      Printf.sprintf "CPU: 0 PID: 4021 Comm: executor Not tainted (sim)";
+      Printf.sprintf "RIP: 0010:0x%Lx" addr;
+      "Call Trace:";
+      Printf.sprintf " 0x%Lx" noise1;
+      Printf.sprintf " 0x%Lx" noise2;
+      Printf.sprintf " entry_SYSCALL_64 (%s)" call_name;
+      "---[ end trace ]---";
+    ]
+
+(* Symbol table: address -> bug key, built from the catalog. *)
+let symbols =
+  lazy
+    (let tbl = Hashtbl.create 128 in
+     List.iter
+       (fun (b : Bug.t) -> Hashtbl.replace tbl (address_of b.key) b.key)
+       Bug.catalog;
+     tbl)
+
+let find_line pred log =
+  List.find_opt pred (String.split_on_char '\n' log)
+
+let symbolize log =
+  let lines = String.split_on_char '\n' log in
+  match lines with
+  | [] -> None
+  | header :: _ -> (
+    match risk_of_header header with
+    | None -> None
+    | Some risk -> (
+      let rip =
+        find_line
+          (fun l ->
+            String.length l > 4 && String.sub l 0 4 = "RIP:")
+          log
+      in
+      match rip with
+      | None -> None
+      | Some line -> (
+        (* RIP: 0010:0xffffffff81xxxxxx *)
+        match String.index_opt line 'x' with
+        | None -> None
+        | Some _ ->
+          let addr_str =
+            match String.rindex_opt line ':' with
+            | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+            | None -> line
+          in
+          (try
+             let addr = Int64.of_string (String.trim addr_str) in
+             match Hashtbl.find_opt (Lazy.force symbols) addr with
+             | Some key -> Some (key, risk)
+             | None -> None
+           with Failure _ -> None))))
+
+let signature r = Risk.to_string r.risk ^ ":" ^ r.bug_key
+
+let pp_report ppf r =
+  Fmt.pf ppf "%s at call %d (%s): %s" r.bug_key r.call_index r.call_name
+    (Risk.to_string r.risk)

@@ -1,0 +1,36 @@
+(** Crash reports: raising, rendering and symbolizing kernel crash logs.
+
+    Subsystem handlers raise {!Crash} through {!Ctx.bug}. The executor
+    catches it, renders a sanitizer-style textual log with raw kernel
+    addresses (the virtual machine's console output), and the fuzzer's
+    triage component symbolizes that log back into a stable bug
+    signature — the same pipeline the paper describes (collect and parse
+    the crash log, symbolize kernel addresses, filter irrelevant
+    information). *)
+
+exception Crash of { bug_key : string; risk : Risk.t }
+
+type report = {
+  bug_key : string;
+  risk : Risk.t;
+  call_index : int;  (** Index of the triggering call in the program. *)
+  call_name : string;
+  log : string;  (** Raw console log (addresses, not symbols). *)
+}
+
+val address_of : string -> int64
+(** Deterministic fake kernel text address for a bug key. *)
+
+val render_log : bug_key:string -> risk:Risk.t -> call_name:string -> string
+(** A KASAN/KCSAN-style multi-line crash log containing only raw
+    addresses and boilerplate. *)
+
+val symbolize : string -> (string * Risk.t) option
+(** Parse a raw log back to [(bug_key, risk)] by resolving the faulting
+    address against the bug catalog's symbol table. [None] if the log is
+    not a crash or the address is unknown. *)
+
+val signature : report -> string
+(** Stable deduplication signature, [risk-class:bug_key]. *)
+
+val pp_report : Format.formatter -> report -> unit

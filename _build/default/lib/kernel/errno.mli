@@ -1,0 +1,36 @@
+(** Error numbers returned by simulated system calls. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | EINTR
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | ENODEV
+  | EINVAL
+  | ENOTTY
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOTCONN
+  | EISCONN
+  | EADDRINUSE
+  | EDESTADDRREQ
+  | EOPNOTSUPP
+  | EALREADY
+  | EINPROGRESS
+  | ETIMEDOUT
+  | EACCES
+  | ENXIO
+  | EOVERFLOW
+
+val code : t -> int
+(** Positive errno value, matching Linux's numbering. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

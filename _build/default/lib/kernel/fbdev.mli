@@ -1,0 +1,19 @@
+(** Framebuffer subsystem: [/dev/fb0], screen geometry ioctls, console
+    fonts (fbcon) and cursor blitting.
+
+    Injected bugs: [fb_set_var_div], [fb_var_to_videomode],
+    [bit_putcs], [bitfill_aligned], [fbcon_get_font], [soft_cursor]. *)
+
+type fb = {
+  mutable xres : int64;
+  mutable yres : int64;
+  mutable bpp : int64;
+  mutable pixclock : int64;
+  mutable font_height : int64;  (** 0 = no custom font loaded. *)
+  mutable cursor_size : int64;  (** 0 = default cursor. *)
+  mutable panned : bool;
+}
+
+type State.fd_kind += Fb of fb
+
+val sub : Subsystem.t

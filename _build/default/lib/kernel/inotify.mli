@@ -1,0 +1,21 @@
+(** inotify subsystem: filesystem event observation.
+
+    Watches snapshot the watched inode's state at [inotify_add_watch];
+    reading the inotify descriptor compares the inode's current state
+    against the snapshot and reports the difference as events. This
+    gives dynamic relation learning genuinely cross-subsystem edges —
+    [write]/[unlink]/[rename] on a watched path change what a later
+    [read] on the inotify descriptor covers. *)
+
+type watch = {
+  wd : int64;
+  wpath : string;
+  mutable snap_size : int64;
+  mutable snap_exists : bool;
+}
+
+type inotify = { mutable watches : watch list; mutable next_wd : int64 }
+
+type State.fd_kind += Inotify of inotify
+
+val sub : Subsystem.t

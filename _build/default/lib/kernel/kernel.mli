@@ -1,0 +1,56 @@
+(** The assembled simulated kernel: boots a {!State.t} for a version,
+    compiles the union of all subsystem descriptions into a
+    {!Healer_syzlang.Target.t}, and dispatches executed calls to
+    subsystem handlers.
+
+    This module is the executor's only entry point into the kernel. *)
+
+type t
+(** A booted kernel instance. *)
+
+val subsystems : unit -> Subsystem.t list
+(** All registered subsystems (registers them on first use). *)
+
+val target : unit -> Healer_syzlang.Target.t
+(** The compiled description set (memoized; identical across boots). *)
+
+val subsystem_of : string -> string
+(** [subsystem_of syscall_name] is the name of the subsystem whose
+    handler serves the call, or ["?"] for unknown names. Used by the
+    Moonshine baseline's read-write dependency approximation. *)
+
+val boot :
+  ?san:Sanitizer.config ->
+  ?features:string list ->
+  version:Version.t ->
+  unit ->
+  t
+(** Boot a fresh kernel: creates the state and runs every subsystem's
+    initializer. [features] are executor capabilities (e.g. ["usb";
+    "fault_injection"]) visible to handlers. *)
+
+val reboot : t -> t
+(** Fresh state with the same version, sanitizer config and features. *)
+
+val version : t -> Version.t
+val state : t -> State.t
+val sanitizers : t -> Sanitizer.config
+val features : t -> string list
+
+val exec_call :
+  t ->
+  ?fault:bool ->
+  cov:Coverage.t ->
+  Healer_syzlang.Syscall.t ->
+  Arg.t list ->
+  Ctx.result
+(** Execute one call against the kernel. Coverage lands in [cov]
+    (caller resets it between calls). [fault] injects an allocation
+    failure into this call. May raise {!Crash.Crash}. Unknown syscall
+    names return [ENOSYS]. *)
+
+val coredump : t -> cov:Coverage.t -> unit
+(** Run the core-dump path, entered after a fault-injected call kills
+    the executor process. Covers the binfmt_elf blocks and can trigger
+    the [fill_thread_core_info] KMSAN bug (the paper's Listing 2 /
+    Section 7 case study). May raise {!Crash.Crash}. *)

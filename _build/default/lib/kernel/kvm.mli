@@ -1,0 +1,36 @@
+(** KVM subsystem: the paper's flagship deep-state example. Reaching
+    [ioctl$KVM_RUN]'s interesting paths requires the full
+    [openat$kvm -> KVM_CREATE_VM -> KVM_CREATE_VCPU ->
+    KVM_SET_USER_MEMORY_REGION -> KVM_RUN] chain (Section 3 and the
+    Figure 5 relation subgraph).
+
+    Injected bugs: [search_memslots] (Listing 1),
+    [kvm_arch_vcpu_ioctl_warn], [kvm_hv_irq_routing_update],
+    [kvm_vm_ioctl_unregister_coalesced_mmio], [kvm_io_bus_unregister_dev],
+    [kvm_gfn_to_hva_cache_init]. *)
+
+type vm = {
+  mutable vcpus : int;
+  mutable memslots : (int64 * int64) list;  (** (base_gfn, npages). *)
+  mutable irqchip : bool;
+  mutable coalesced_zones : int64 list;
+  mutable io_bus_devs : int64 list;
+  mutable hv_routing_stale : bool;
+  mutable dirty_log_slots : int64 list;  (** Slots with dirty logging. *)
+  mutable tss_addr : int64 option;
+}
+
+type vcpu = {
+  vm_fd : int;
+  mutable lapic_set : bool;
+  mutable cap_enabled : bool;
+  mutable smi_pending : bool;
+  mutable guest_debug : bool;
+  mutable runs : int;
+  mutable regs_set : bool;
+  mutable nmi_pending : bool;
+}
+
+type State.fd_kind += Kvm_sys | Kvm_vm of vm | Kvm_vcpu of vcpu
+
+val sub : Subsystem.t

@@ -1,0 +1,20 @@
+(** memfd subsystem: [memfd_create], sealing via [fcntl$ADD_SEALS], and
+    the seal-sensitive [mmap]/[write]/[ftruncate] paths — the paper's
+    Figure 2 running example. The relation [fcntl$ADD_SEALS -> mmap] is
+    only discoverable dynamically: sealing changes which branches a
+    subsequent [mmap]/[write] takes.
+
+    Injected bug: [memfd_create_warn]. *)
+
+type memfd = {
+  mname : string;
+  mutable msize : int64;
+  mutable seals : int64;
+}
+
+type State.fd_kind += Memfd of memfd
+
+val sub : Subsystem.t
+
+val seal_write : int64
+(** The F_SEAL_WRITE bit. *)

@@ -1,0 +1,143 @@
+type mounts = {
+  mutable mounted : (string * string) list;
+  mutable last_umount : int;
+}
+
+type State.global += Mounts of mounts
+
+let blk = Coverage.region ~name:"mounts" ~size:192
+let c ctx o = Ctx.cover ctx (blk + o)
+
+let init st =
+  State.set_global st "mounts"
+    (Mounts { mounted = [ ("/mnt/ext4", "ext4") ]; last_umount = 0 })
+
+let mounts_of st =
+  match State.global st "mounts" with
+  | Some (Mounts m) -> m
+  | Some _ | None -> failwith "mounts: state not initialized"
+
+let valid_mountpoint = function "/mnt/a" | "/mnt/b" | "/mnt/ext4" -> true | _ -> false
+
+let h_mount_ext4 ctx args =
+  let dst = Arg.as_str (Arg.nth args 1) in
+  let m = mounts_of ctx.Ctx.st in
+  c ctx 0;
+  if not (valid_mountpoint dst) then begin
+    c ctx 1;
+    Ctx.err Errno.ENOENT
+  end
+  else if List.mem_assoc dst m.mounted then begin
+    c ctx 2;
+    Ctx.err Errno.EBUSY
+  end
+  else begin
+    c ctx 3;
+    m.mounted <- (dst, "ext4") :: m.mounted;
+    Ctx.ok0
+  end
+
+let h_mount_nfs ctx args =
+  let dst = Arg.as_str (Arg.nth args 1) in
+  let m = mounts_of ctx.Ctx.st in
+  c ctx 5;
+  if not (valid_mountpoint dst) then begin
+    c ctx 6;
+    Ctx.err Errno.ENOENT
+  end
+  else begin
+    let data = Arg.nth args 2 in
+    let version = Arg.as_int (Arg.field data 0) in
+    let namlen = Arg.as_int (Arg.field data 1) in
+    if Int64.compare version 2L < 0 || Int64.compare version 4L > 0 then begin
+      c ctx 7;
+      Ctx.err Errno.EINVAL
+    end
+    else begin
+      c ctx 8;
+      (* v2/v3 monolithic mount data with an oversized name length:
+         the parser bails after allocating the context (5.6+). *)
+      if Int64.compare version 4L < 0 && Int64.compare namlen 255L > 0 then begin
+        c ctx 9;
+        Ctx.bug ctx "nfs23_parse_monolithic";
+        Ctx.err Errno.EINVAL
+      end
+      else begin
+        c ctx 10;
+        m.mounted <- (dst, "nfs") :: m.mounted;
+        Ctx.ok0
+      end
+    end
+  end
+
+let h_mount_reiserfs ctx args =
+  let dst = Arg.as_str (Arg.nth args 1) in
+  let m = mounts_of ctx.Ctx.st in
+  c ctx 12;
+  if not (valid_mountpoint dst) then begin
+    c ctx 13;
+    Ctx.err Errno.ENOENT
+  end
+  else begin
+    let opts = Arg.as_buf (Arg.nth args 2) in
+    c ctx 14;
+    (* A journal-device option pointing into the tiny superblock
+       area crashes fill_super (4.19). *)
+    if Bytes.length opts >= 4 && Bytes.get opts 0 = 'j' && Bytes.get opts 1 = 'd'
+    then begin
+      c ctx 15;
+      Ctx.bug ctx "reiserfs_fill_super";
+      Ctx.err Errno.EINVAL
+    end
+    else if Bytes.length opts > 64 then begin
+      c ctx 16;
+      Ctx.err Errno.EINVAL
+    end
+    else begin
+      c ctx 17;
+      m.mounted <- (dst, "reiserfs") :: m.mounted;
+      Ctx.ok0
+    end
+  end
+
+let h_umount ctx args =
+  let dst = Arg.as_str (Arg.nth args 0) in
+  let m = mounts_of ctx.Ctx.st in
+  c ctx 19;
+  if List.mem_assoc dst m.mounted then begin
+    c ctx 20;
+    m.mounted <- List.remove_assoc dst m.mounted;
+    m.last_umount <- State.now ctx.Ctx.st;
+    Ctx.ok0
+  end
+  else begin
+    c ctx 21;
+    (* Re-umounting a just-detached mountpoint follows the NULL
+       mnt (known bug). *)
+    if m.last_umount > 0 && State.now ctx.Ctx.st - m.last_umount <= 2 then begin
+      c ctx 22;
+      Ctx.bug ctx "do_umount_null"
+    end;
+    Ctx.err Errno.EINVAL
+  end
+
+let descriptions =
+  {|
+# Mounts: ext4, nfs, reiserfs.
+struct nfs_mount_data { version int32, namlen int32, opts buffer[in] }
+mount$ext4(src filename["/dev/loop0"], dst filename["/mnt/a", "/mnt/b", "/mnt/ext4"], fstype string["ext4"], mflags int32, data ptr[in, int64])
+mount$nfs(src filename["10.0.0.1:/export"], dst filename["/mnt/a", "/mnt/b"], data ptr[in, nfs_mount_data])
+mount$reiserfs(src filename["/dev/loop0"], dst filename["/mnt/a", "/mnt/b"], opts ptr[in, string["acl", "nolog", "jdev=/dev/loop1", "notail"]])
+umount(dst filename["/mnt/a", "/mnt/b", "/mnt/ext4"])
+|}
+
+let sub =
+  Subsystem.make ~name:"mounts" ~descriptions ~init
+    ~handlers:
+      [
+        ("mount$ext4", h_mount_ext4);
+        ("mount$nfs", h_mount_nfs);
+        ("mount$reiserfs", h_mount_reiserfs);
+        ("umount", h_umount);
+      ]
+    ()

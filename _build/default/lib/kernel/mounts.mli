@@ -1,0 +1,13 @@
+(** Mount management: ext4/nfs/reiserfs mounts and umount.
+
+    Injected bugs: [do_umount_null], [nfs23_parse_monolithic],
+    [reiserfs_fill_super], [fs_reclaim_acquire] lives in {!Vfs}. *)
+
+type mounts = {
+  mutable mounted : (string * string) list;  (** (mountpoint, fstype). *)
+  mutable last_umount : int;
+}
+
+type State.global += Mounts of mounts
+
+val sub : Subsystem.t

@@ -1,0 +1,18 @@
+(** Network device subsystem: interface management, macvlan upper
+    devices, qdisc configuration, packet TX/RX (the e1000 model).
+
+    Injected bugs: [dev_ioctl_warn], [e1000_clean],
+    [macvlan_broadcast], [qdisc_calculate_pkt_len]. *)
+
+type netdev = {
+  dname : string;
+  mutable up : bool;
+  mutable qdisc_limit : int option;  (** None = default pfifo. *)
+  mutable last_xmit : int;  (** Op tick of the last transmit. *)
+  mutable macvlan_dying : bool;
+}
+
+type State.global += Netdevs of (string, netdev) Hashtbl.t
+type State.fd_kind += Packet_sock
+
+val sub : Subsystem.t

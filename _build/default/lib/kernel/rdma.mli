@@ -1,0 +1,16 @@
+(** RDMA connection manager (ucma) subsystem.
+
+    Injected bugs: [ucma_create_id_leak], [cma_cancel_operation],
+    [rdma_listen]. *)
+
+type cm_id = {
+  mutable bound : bool;
+  mutable listening : bool;
+  mutable resolving : bool;
+  mutable destroyed : bool;
+}
+
+type State.fd_kind += Rdma_cm  (** The /dev/infiniband/rdma_cm fd. *)
+type State.global += Rdma_ids of (int64, cm_id) Hashtbl.t * int64 ref
+
+val sub : Subsystem.t

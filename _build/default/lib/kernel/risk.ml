@@ -1,0 +1,45 @@
+type t =
+  | Data_race
+  | Use_after_free
+  | Out_of_bounds
+  | Null_ptr_deref
+  | Memory_leak
+  | Uninit_value
+  | Deadlock
+  | Refcount_bug
+  | General_protection_fault
+  | Paging_fault
+  | Divide_error
+  | Kernel_bug
+  | Inconsistent_lock_state
+
+let to_string = function
+  | Data_race -> "data race"
+  | Use_after_free -> "use after free"
+  | Out_of_bounds -> "out of bounds"
+  | Null_ptr_deref -> "null-ptr-deref"
+  | Memory_leak -> "memory leak"
+  | Uninit_value -> "uninit value"
+  | Deadlock -> "deadlock"
+  | Refcount_bug -> "refcount bug"
+  | General_protection_fault -> "general protection fault"
+  | Paging_fault -> "paging fault"
+  | Divide_error -> "divide error"
+  | Kernel_bug -> "kernel bug"
+  | Inconsistent_lock_state -> "inconsistent lock state"
+
+let pp ppf r = Fmt.string ppf (to_string r)
+
+let is_memory_error = function
+  | Use_after_free | Out_of_bounds | Uninit_value | Memory_leak -> true
+  | Data_race | Null_ptr_deref | Deadlock | Refcount_bug
+  | General_protection_fault | Paging_fault | Divide_error | Kernel_bug
+  | Inconsistent_lock_state ->
+    false
+
+let is_concurrency = function
+  | Data_race | Deadlock | Inconsistent_lock_state -> true
+  | Use_after_free | Out_of_bounds | Uninit_value | Memory_leak
+  | Null_ptr_deref | Refcount_bug | General_protection_fault | Paging_fault
+  | Divide_error | Kernel_bug ->
+    false

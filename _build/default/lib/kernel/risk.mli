@@ -1,0 +1,27 @@
+(** Vulnerability classes, matching the "Risk" column of the paper's
+    Table 5 plus the classes appearing in Table 4. *)
+
+type t =
+  | Data_race
+  | Use_after_free
+  | Out_of_bounds
+  | Null_ptr_deref
+  | Memory_leak
+  | Uninit_value
+  | Deadlock
+  | Refcount_bug
+  | General_protection_fault
+  | Paging_fault
+  | Divide_error
+  | Kernel_bug  (** BUG()/assertion failures. *)
+  | Inconsistent_lock_state
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_memory_error : t -> bool
+(** The classes the paper attributes to KASAN/KMSAN (44.4% of found
+    bugs): use-after-free, out-of-bounds, uninit value, memory leak. *)
+
+val is_concurrency : t -> bool
+(** Data races / deadlocks / lock-state, attributed to KCSAN (11.1%). *)

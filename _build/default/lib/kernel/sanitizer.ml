@@ -1,0 +1,18 @@
+type config = { kasan : bool; kmsan : bool; kcsan : bool }
+
+let default = { kasan = true; kmsan = true; kcsan = true }
+let none = { kasan = false; kmsan = false; kcsan = false }
+
+let detects c (risk : Risk.t) =
+  match risk with
+  | Risk.Use_after_free | Risk.Out_of_bounds -> c.kasan
+  | Risk.Uninit_value -> c.kmsan
+  | Risk.Memory_leak -> c.kasan (* kmemleak, bundled with the KASAN build *)
+  | Risk.Data_race -> c.kcsan
+  | Risk.Null_ptr_deref | Risk.General_protection_fault | Risk.Paging_fault
+  | Risk.Divide_error | Risk.Kernel_bug | Risk.Deadlock
+  | Risk.Inconsistent_lock_state | Risk.Refcount_bug ->
+    true
+
+let pp ppf c =
+  Fmt.pf ppf "kasan=%b kmsan=%b kcsan=%b" c.kasan c.kmsan c.kcsan

@@ -1,0 +1,20 @@
+(** Simulated kernel sanitizers.
+
+    KASAN catches memory-safety violations, KMSAN catches uses of
+    uninitialized values, KCSAN catches data races; plain crashes
+    (null dereference, general protection fault, BUG(), deadlock
+    watchdog) are always observable. A bug whose class no enabled
+    detector covers fires silently: the kernel keeps running and the
+    fuzzer never sees it, exactly like an un-sanitized kernel build. *)
+
+type config = { kasan : bool; kmsan : bool; kcsan : bool }
+
+val default : config
+(** KASAN + KMSAN + KCSAN all enabled (the paper's build enables KCOV
+    and the sanitizers on every target kernel). *)
+
+val none : config
+
+val detects : config -> Risk.t -> bool
+
+val pp : Format.formatter -> config -> unit

@@ -1,0 +1,30 @@
+(** Core socket subsystem: TCP/UDP/Unix/netlink/raw plus the RxRPC and
+    RDS families. Models the bind/listen/connect state machine the
+    paper's introduction uses as its motivating influence-relation
+    example ([bind] changes which path [listen] takes; unbound sockets
+    fail early with EDESTADDRREQ).
+
+    Injected bugs: [tcp_disconnect], [raw_sendmsg_uninit],
+    [unix_release_refcount], [rxrpc_lookup_local], [rds_ib_add_conn],
+    [build_skb]. *)
+
+type proto = Tcp | Udp | Unix | Netlink | Raw | Rxrpc | Rds
+
+type sock = {
+  proto : proto;
+  mutable bound : bool;
+  mutable bound_addr : int64;
+  mutable listening : bool;
+  mutable connected : bool;
+  mutable backlog : int;
+  mutable sndbuf : int;
+  mutable shut : bool;
+  mutable ib_transport : bool;  (** RDS: transport forced to IB. *)
+  mutable rcvbuf : int;
+  mutable keepalive : bool;
+  mutable pending_err : bool;  (** Consumed by [getsockopt$SO_ERROR]. *)
+}
+
+type State.fd_kind += Sock of sock
+
+val sub : Subsystem.t

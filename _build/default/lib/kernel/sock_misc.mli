@@ -1,0 +1,32 @@
+(** Niche socket families: Bluetooth L2CAP, NFC LLCP and IEEE 802.15.4
+    (with its llsec key management).
+
+    Injected bugs: [l2cap_chan_put], [llcp_sock_bind_uninit],
+    [llcp_sock_getname], [ieee802154_llsec_parse_key_id],
+    [nl802154_del_llsec_key], [ieee802154_tx]. *)
+
+type l2cap = {
+  mutable connected : bool;
+  mutable mode_set : bool;
+  mutable chan_refs : int;
+  mutable shut : bool;
+}
+
+type llcp = {
+  mutable bound : bool;
+  mutable listening : bool;
+  mutable connect_failed : bool;
+}
+
+type ieee802154 = {
+  mutable keys : int64 list;
+  mutable security_on : bool;
+  mutable closed_while_tx : bool;
+}
+
+type State.fd_kind +=
+  | L2cap of l2cap
+  | Llcp of llcp
+  | Ieee802154 of ieee802154
+
+val sub : Subsystem.t

@@ -1,0 +1,42 @@
+type handler = Ctx.t -> Arg.t list -> Ctx.result
+
+type file_op = {
+  op_name : string;
+  applies : State.fd_kind -> bool;
+  run : Ctx.t -> State.fd_entry -> Arg.t list -> Ctx.result;
+}
+
+type t = {
+  name : string;
+  descriptions : string;
+  init : State.t -> unit;
+  handlers : (string * handler) list;
+  file_ops : file_op list;
+}
+
+let make ?(init = fun _ -> ()) ?(handlers = []) ?(file_ops = []) ~name
+    ~descriptions () =
+  { name; descriptions; init; handlers; file_ops }
+
+let registry : t list ref = ref []
+
+let register sub =
+  if not (List.exists (fun s -> String.equal s.name sub.name) !registry) then
+    registry := !registry @ [ sub ]
+
+let registered () = !registry
+
+let dispatch_file_op ctx op (entry : State.fd_entry) args =
+  let rec go = function
+    | [] -> None
+    | sub :: rest -> (
+      let matching =
+        List.find_opt
+          (fun fo -> String.equal fo.op_name op && fo.applies entry.kind)
+          sub.file_ops
+      in
+      match matching with
+      | Some fo -> Some (fo.run ctx entry args)
+      | None -> go rest)
+  in
+  go !registry

@@ -1,0 +1,43 @@
+(** Subsystem plumbing: each simulated kernel subsystem bundles its
+    Syzlang descriptions, an initializer for its global state, exact
+    handlers for its specialized syscalls, and optional implementations
+    of the generic file operations ([read]/[write]/[mmap]/[ftruncate]
+    ...), mirroring Linux's [file_operations] dispatch. *)
+
+type handler = Ctx.t -> Arg.t list -> Ctx.result
+
+type file_op = {
+  op_name : string;  (** "read", "write", "mmap", "ftruncate", ... *)
+  applies : State.fd_kind -> bool;  (** Does this fd belong to us? *)
+  run : Ctx.t -> State.fd_entry -> Arg.t list -> Ctx.result;
+}
+
+type t = {
+  name : string;
+  descriptions : string;  (** Syzlang source for this subsystem. *)
+  init : State.t -> unit;  (** Install global state at boot. *)
+  handlers : (string * handler) list;  (** Exact syscall-name handlers. *)
+  file_ops : file_op list;
+}
+
+val make :
+  ?init:(State.t -> unit) ->
+  ?handlers:(string * handler) list ->
+  ?file_ops:file_op list ->
+  name:string ->
+  descriptions:string ->
+  unit ->
+  t
+
+val register : t -> unit
+(** Idempotent (keyed by name); installs the subsystem's file_ops into
+    the global dispatch chain used by {!dispatch_file_op}. *)
+
+val registered : unit -> t list
+(** In registration order. *)
+
+val dispatch_file_op :
+  Ctx.t -> string -> State.fd_entry -> Arg.t list -> Ctx.result option
+(** [dispatch_file_op ctx op entry args] walks the chain and runs the
+    first registered operation whose [applies] matches the entry's
+    kind. [None] when no subsystem claims the descriptor. *)

@@ -1,0 +1,15 @@
+(** io_uring subsystem.
+
+    Injected bugs: [io_ring_exit_work], [io_uring_cancel_task_requests]. *)
+
+type uring = {
+  mutable entries : int;
+  mutable registered_bufs : int;
+  mutable inflight : int;
+  mutable unregister_pending : bool;
+  mutable exiting : bool;
+}
+
+type State.fd_kind += Uring of uring
+
+val sub : Subsystem.t

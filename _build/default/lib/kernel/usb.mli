@@ -1,0 +1,15 @@
+(** USB emulation subsystem (syz_usb_* pseudo-calls).
+
+    Requires the executor feature ["usb"], which Syzkaller and
+    Moonshine configurations have and HEALER does not (the paper's
+    explanation for the three 24-hour-experiment bugs HEALER missed).
+    Without the feature every call fails with ENOSYS.
+
+    Injected bugs: [usb_parse_configuration_oob], [hub_activate_uaf],
+    [gadget_setup_null]. *)
+
+type usbdev = { mutable configured : bool; mutable disconnected : bool }
+
+type State.fd_kind += Usbdev of usbdev
+
+val sub : Subsystem.t

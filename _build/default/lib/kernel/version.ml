@@ -1,0 +1,25 @@
+type t = V4_19 | V5_0 | V5_4 | V5_6 | V5_11
+
+let all = [ V4_19; V5_0; V5_4; V5_6; V5_11 ]
+let evaluated = [ V5_11; V5_4; V4_19 ]
+
+let rank = function V4_19 -> 0 | V5_0 -> 1 | V5_4 -> 2 | V5_6 -> 3 | V5_11 -> 4
+let compare a b = Int.compare (rank a) (rank b)
+let at_least v since = compare v since >= 0
+
+let to_string = function
+  | V4_19 -> "4.19"
+  | V5_0 -> "5.0"
+  | V5_4 -> "5.4"
+  | V5_6 -> "5.6"
+  | V5_11 -> "5.11"
+
+let of_string = function
+  | "4.19" -> Some V4_19
+  | "5.0" -> Some V5_0
+  | "5.4" -> Some V5_4
+  | "5.6" -> Some V5_6
+  | "5.11" -> Some V5_11
+  | _ -> None
+
+let pp ppf v = Fmt.string ppf (to_string v)

@@ -1,0 +1,19 @@
+(** Simulated kernel versions, matching the paper's evaluation targets
+    (Linux 4.19, 5.0, 5.4, 5.6 and 5.11). *)
+
+type t = V4_19 | V5_0 | V5_4 | V5_6 | V5_11
+
+val all : t list
+(** In increasing order. *)
+
+val evaluated : t list
+(** The three versions of the main 24-hour experiments (Figure 4):
+    5.11, 5.4, 4.19, in the paper's presentation order. *)
+
+val compare : t -> t -> int
+val at_least : t -> t -> bool
+(** [at_least v since] holds when [v >= since]. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

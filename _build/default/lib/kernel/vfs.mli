@@ -1,0 +1,26 @@
+(** Core VFS subsystem: regular files, epoll, AIO contexts and
+    character devices, plus the generic file-operation entry points
+    ([read]/[write]/[mmap]/...) that dispatch to whichever subsystem
+    owns the descriptor.
+
+    Injected bugs (see {!Bug.catalog}): [vfs_read_oob],
+    [fput_ep_remove], [cdev_del], [drop_nlink], [io_submit_one],
+    [free_ioctx_users], [fs_reclaim_acquire], [ioremap_page_range],
+    [do_umount_null] lives in {!Mounts}. *)
+
+type file = {
+  path : string;
+  mutable offset : int64;
+  mutable oflags : int64;
+  mutable mapped : bool;
+}
+
+type State.fd_kind += File of file
+
+val sub : Subsystem.t
+
+val inode_size : State.t -> string -> int64 option
+(** Size of the inode at [path], if it exists. Exposed for tests. *)
+
+val lookup_aio : State.t -> int64 -> bool
+(** Does the AIO context id exist (live)? Exposed for tests. *)

@@ -1,0 +1,16 @@
+(** Vivid (virtual video test driver, V4L2).
+
+    Injected bugs: [v4l2_queryctrl_oob],
+    [vivid_stop_generating_vid_cap]. *)
+
+type video = {
+  mutable fmt_set : bool;
+  mutable fmt_changes : int;
+  mutable reqbufs : int;
+  mutable streaming : bool;
+  mutable ctrl_set : bool;
+}
+
+type State.fd_kind += Vivid of video
+
+val sub : Subsystem.t

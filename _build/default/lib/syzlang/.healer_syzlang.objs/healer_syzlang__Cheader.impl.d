@@ -1,0 +1,1 @@
+lib/syzlang/cheader.ml: Array Buffer Char Fmt Hashtbl Int64 List Option Printf Scanf String

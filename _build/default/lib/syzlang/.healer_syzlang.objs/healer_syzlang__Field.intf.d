@@ -1,0 +1,1 @@
+lib/syzlang/field.mli: Format Ty

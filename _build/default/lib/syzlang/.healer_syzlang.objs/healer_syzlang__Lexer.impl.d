@@ -1,0 +1,1 @@
+lib/syzlang/lexer.ml: Fmt Int64 List Printf String

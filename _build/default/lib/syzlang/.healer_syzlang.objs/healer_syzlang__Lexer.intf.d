@@ -1,0 +1,1 @@
+lib/syzlang/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/syzlang/parser.ml: Field Fmt Int64 Lexer List Ty

@@ -1,0 +1,1 @@
+lib/syzlang/syscall.ml: Field Fmt List String Ty

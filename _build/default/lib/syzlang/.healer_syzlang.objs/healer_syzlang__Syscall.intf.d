@@ -1,0 +1,1 @@
+lib/syzlang/syscall.mli: Field Format

@@ -1,0 +1,1 @@
+lib/syzlang/target.ml: Array Field Fmt Hashtbl List Parser Printf String Syscall Ty

@@ -1,0 +1,1 @@
+lib/syzlang/target.mli: Field Format Parser Syscall

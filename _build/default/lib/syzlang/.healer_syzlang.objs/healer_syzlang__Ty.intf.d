@@ -1,0 +1,1 @@
+lib/syzlang/ty.mli: Format

@@ -1,0 +1,368 @@
+type item =
+  | Define of string * int64
+  | Struct_def of string * (string * string) list
+  | Ioctl of { iname : string; dir : string; code : int64; arg : string option }
+  | Proto of { pname : string; ret : string; params : (string * string) list }
+
+exception Unsupported of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(* ---- tiny lexical helpers ---- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let trim = String.trim
+
+let strip_comments src =
+  let b = Buffer.create (String.length src) in
+  let n = String.length src in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '/' && src.[i + 1] = '*' then begin
+      (* Preserve newlines inside block comments for line counting. *)
+      let rec skip j =
+        if j + 1 >= n then n
+        else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+        else begin
+          if src.[j] = '\n' then Buffer.add_char b '\n';
+          skip (j + 1)
+        end
+      in
+      go (skip (i + 2))
+    end
+    else if i + 1 < n && src.[i] = '/' && src.[i + 1] = '/' then begin
+      let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+      go (skip i)
+    end
+    else begin
+      Buffer.add_char b src.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_int s =
+  let s = trim s in
+  let s =
+    (* Drop C integer suffixes. *)
+    let rec chop s =
+      let n = String.length s in
+      if n > 0 && (match s.[n - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+      then chop (String.sub s 0 (n - 1))
+      else s
+    in
+    chop s
+  in
+  match Int64.of_string_opt s with
+  | Some v -> Some v
+  | None -> (
+    (* (1 << N) shifts are ubiquitous in flag headers. *)
+    match Scanf.sscanf_opt s "(%Ld << %d)" (fun base sh -> (base, sh)) with
+    | Some (base, sh) when sh >= 0 && sh < 63 -> Some (Int64.shift_left base sh)
+    | _ -> (
+      match Scanf.sscanf_opt s "1 << %d" (fun sh -> sh) with
+      | Some sh when sh >= 0 && sh < 63 -> Some (Int64.shift_left 1L sh)
+      | _ -> None))
+
+(* ---- C type conversion ---- *)
+
+let convert_scalar = function
+  | "char" | "__s8" | "__u8" | "u8" | "int8_t" | "uint8_t" -> Some "int8"
+  | "short" | "__s16" | "__u16" | "u16" | "int16_t" | "uint16_t" -> Some "int16"
+  | "int" | "unsigned" | "__s32" | "__u32" | "u32" | "int32_t" | "uint32_t" ->
+    Some "int32"
+  | "long" | "__s64" | "__u64" | "u64" | "int64_t" | "uint64_t" | "size_t"
+  | "ssize_t" | "loff_t" ->
+    Some "int64"
+  | _ -> None
+
+(* Normalize a C declarator like "const char *buf" or "__u32 flags" into
+   (syzlang type, identifier). *)
+let convert_decl ~structs decl =
+  let decl = trim decl in
+  let words =
+    String.split_on_char ' ' decl
+    |> List.concat_map (fun w ->
+           (* Split the '*' off "*buf". *)
+           if String.length w > 1 && w.[0] = '*' then
+             [ "*"; String.sub w 1 (String.length w - 1) ]
+           else if String.length w > 1 && w.[String.length w - 1] = '*' then
+             [ String.sub w 0 (String.length w - 1); "*" ]
+           else [ w ])
+    |> List.filter (fun w -> w <> "" && w <> "const" && w <> "unsigned" && w <> "volatile")
+  in
+  match List.rev words with
+  | [] -> fail "empty declaration"
+  | name :: rev_ty ->
+    let pointer = List.mem "*" rev_ty in
+    let ty_words = List.filter (fun w -> w <> "*") (List.rev rev_ty) in
+    (* Fixed-size array suffix: name[16]. *)
+    let name, array_len =
+      match String.index_opt name '[' with
+      | Some idx when String.length name > idx + 1 && name.[String.length name - 1] = ']' ->
+        let base = String.sub name 0 idx in
+        let len_s = String.sub name (idx + 1) (String.length name - idx - 2) in
+        (base, int_of_string_opt len_s)
+      | Some _ | None -> (name, None)
+    in
+    if name = "" || not (String.for_all is_ident_char name) then
+      fail "bad identifier in %S" decl;
+    let base_ty =
+      match ty_words with
+      | [ "struct"; sname ] ->
+        if List.mem sname structs then sname
+        else fail "unknown struct %s in %S" sname decl
+      | [ "void" ] -> "void"
+      | [ scalar ] -> (
+        match convert_scalar scalar with
+        | Some t -> t
+        | None -> fail "unsupported type %S" decl)
+      | [] -> "int32" (* bare "unsigned x" after filtering *)
+      | _ -> fail "unsupported type %S" decl
+    in
+    let syz =
+      match (pointer, base_ty, array_len) with
+      | _, "int8", Some _ -> "buffer[in]"
+      | _, t, Some n -> Printf.sprintf "array[%s, %d:%d]" t (max n 0) (max n 0)
+      | true, "void", None -> "buffer[inout]"
+      | true, "int8", None -> "buffer[in]" (* char* *)
+      | true, t, None -> Printf.sprintf "ptr[in, %s]" t
+      | false, "void", None -> fail "bare void in %S" decl
+      | false, t, None -> t
+    in
+    (syz, name)
+
+(* ---- parsing ---- *)
+
+let re_matches prefix line =
+  String.length line >= String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let parse_define line =
+  (* #define NAME VALUE-ish *)
+  match Scanf.sscanf_opt line "#define %s %s@\n" (fun a b -> (a, b)) with
+  | None -> None
+  | Some (name, rest) ->
+    if String.contains name '(' then None (* function-like macro *)
+    else (
+      match parse_int rest with
+      | Some v -> Some (Define (name, v))
+      | None -> None)
+
+let find_substring hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* #define KVM_RUN _IO(0xae, 0x80) / #define X _IOW('k', 3, struct foo) *)
+let parse_ioctl line =
+  if not (re_matches "#define " line) then None
+  else
+    let forms = [ ("_IOWR(", "inout"); ("_IOR(", "out"); ("_IOW(", "in"); ("_IO(", "none") ] in
+    let matching =
+      List.find_opt (fun (form, _) -> find_substring line form <> None) forms
+    in
+    match matching with
+    | None -> None
+    | Some (form, dir) ->
+      let name =
+        match Scanf.sscanf_opt line "#define %s " (fun s -> s) with
+        | Some s -> s
+        | None -> fail "bad ioctl define %S" line
+      in
+      let start = Option.get (find_substring line form) + String.length form in
+      let close =
+        match String.rindex_opt line ')' with
+        | Some i when i > start -> i
+        | Some _ | None -> fail "unterminated ioctl macro %S" line
+      in
+      let args = String.sub line start (close - start) in
+      let parts = String.split_on_char ',' args |> List.map trim in
+      let number s =
+        match parse_int s with
+        | Some x -> x
+        | None ->
+          (* Character codes like 'k' appear as the type byte. *)
+          if String.length s = 3 && s.[0] = '\'' && s.[2] = '\'' then
+            Int64.of_int (Char.code s.[1])
+          else fail "bad ioctl number in %S" line
+      in
+      let code, arg =
+        match parts with
+        | ty :: nr :: rest ->
+          let code = Int64.add (Int64.mul (number ty) 256L) (number nr) in
+          let arg =
+            let joined = String.concat "," rest |> trim in
+            if re_matches "struct " joined then
+              Some (trim (String.sub joined 7 (String.length joined - 7)))
+            else None
+          in
+          (code, arg)
+        | _ -> fail "bad ioctl args in %S" line
+      in
+      Some (Ioctl { iname = name; dir; code; arg })
+
+let parse_struct_block ~structs header i_start lines =
+  (* lines.(i_start) is "struct name {". Collect until "};" *)
+  let first = trim lines.(i_start) in
+  let sname =
+    match Scanf.sscanf_opt first "struct %s {" (fun s -> s) with
+    | Some s -> s
+    | None -> fail "bad struct header %S" first
+  in
+  ignore header;
+  let fields = ref [] in
+  let i = ref (i_start + 1) in
+  let n = Array.length lines in
+  let finished = ref false in
+  while (not !finished) && !i < n do
+    let line = trim lines.(!i) in
+    if line = "};" || line = "}" then finished := true
+    else if line <> "" then begin
+      let decl =
+        if String.length line > 0 && line.[String.length line - 1] = ';' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      let syz, fname = convert_decl ~structs:!structs decl in
+      fields := (fname, syz) :: !fields
+    end;
+    incr i
+  done;
+  if not !finished then fail "unterminated struct %s" sname;
+  structs := sname :: !structs;
+  (* [!i] already points past the terminating "};" (the loop increments
+     after consuming it). *)
+  (Struct_def (sname, List.rev !fields), !i)
+
+let parse_proto ~structs line =
+  (* long name(type a, type b); *)
+  match Scanf.sscanf_opt line " %s@( %s@) ;" (fun head params -> (head, params)) with
+  | None -> None
+  | Some (head, params) ->
+    let head_words =
+      String.split_on_char ' ' head |> List.filter (fun w -> w <> "")
+    in
+    (match List.rev head_words with
+    | name :: ret_words when name <> "" && String.for_all is_ident_char name ->
+      let ret = String.concat " " (List.rev ret_words) in
+      if convert_scalar ret = None && ret <> "void" then None
+      else begin
+        let params =
+          if trim params = "void" || trim params = "" then []
+          else
+            String.split_on_char ',' params
+            |> List.map (fun p -> convert_decl ~structs p)
+        in
+        Some (Proto { pname = name; ret; params })
+      end
+    | _ -> None)
+
+let parse src =
+  let src = strip_comments src in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let structs = ref [] in
+  let items = ref [] in
+  let i = ref 0 in
+  while !i < Array.length lines do
+    let line = trim lines.(!i) in
+    if line = "" || re_matches "#include" line || re_matches "#ifndef" line
+       || re_matches "#ifdef" line || re_matches "#endif" line
+       || re_matches "#else" line
+    then incr i
+    else if re_matches "struct " line && String.contains line '{' then begin
+      let item, next = parse_struct_block ~structs line !i lines in
+      items := item :: !items;
+      i := next
+    end
+    else begin
+      (match parse_ioctl line with
+      | Some item -> items := item :: !items
+      | None -> (
+        match parse_define line with
+        | Some item -> items := item :: !items
+        | None -> (
+          match parse_proto ~structs:!structs line with
+          | Some item -> items := item :: !items
+          | None -> ())));
+      incr i
+    end
+  done;
+  List.rev !items
+
+(* ---- grouping and emission ---- *)
+
+let prefix_of name =
+  match String.rindex_opt name '_' with
+  | Some i when i > 0 -> String.sub name 0 i
+  | Some _ | None -> name
+
+let group_defines defines =
+  let groups : (string, (string * int64) list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let p = prefix_of name in
+      if not (Hashtbl.mem groups p) then order := p :: !order;
+      Hashtbl.replace groups p
+        ((name, v) :: (try Hashtbl.find groups p with Not_found -> [])))
+    defines;
+  List.rev_map (fun p -> (p, List.rev (Hashtbl.find groups p))) !order
+
+let convert ?(fd_resource = "fd") src =
+  let items = parse src in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "# generated from C header by Cheader.convert";
+  (* Flag sets from grouped defines (singletons stay constants and are
+     only reachable through the ioctls that use them). *)
+  let defines =
+    List.filter_map (function Define (n, v) -> Some (n, v) | _ -> None) items
+  in
+  List.iter
+    (fun (prefix, members) ->
+      if List.length members >= 2 then
+        add "flags %s_flags = %s"
+          (String.lowercase_ascii prefix)
+          (String.concat " " (List.map (fun (_, v) -> Printf.sprintf "0x%Lx" v) members)))
+    (group_defines defines);
+  (* Structs. *)
+  List.iter
+    (function
+      | Struct_def (name, fields) ->
+        add "struct %s { %s }" name
+          (String.concat ", "
+             (List.map (fun (fname, ty) -> fname ^ " " ^ ty) fields))
+      | Define _ | Ioctl _ | Proto _ -> ())
+    items;
+  (* Ioctls. *)
+  List.iter
+    (function
+      | Ioctl { iname; dir; code; arg } ->
+        let arg_part =
+          match (arg, dir) with
+          | Some sname, ("in" | "inout" | "none") ->
+            Printf.sprintf ", arg ptr[in, %s]" sname
+          | Some sname, _ -> Printf.sprintf ", arg ptr[out, %s]" sname
+          | None, _ -> ""
+        in
+        add "ioctl$%s(fd %s, cmd const[0x%Lx]%s)" iname fd_resource code arg_part
+      | Define _ | Struct_def _ | Proto _ -> ())
+    items;
+  (* Prototypes. *)
+  List.iter
+    (function
+      | Proto { pname; ret = _; params } ->
+        add "%s(%s)" pname
+          (String.concat ", " (List.map (fun (ty, name) -> name ^ " " ^ ty) params))
+      | Define _ | Struct_def _ | Ioctl _ -> ())
+    items;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** C header to Syzlang conversion — the extension the paper's
+    Section 8 proposes to reduce the cost of writing descriptions by
+    hand: "automatically convert the definitions in the C header files
+    into Syzlang descriptions", preserving the structural definition
+    and leaving semantic refinement to a human.
+
+    The supported header subset covers what interface headers actually
+    contain:
+    - [#define NAME <int>] constants; runs of defines sharing a
+      [PREFIX_] are grouped into one Syzlang flag set;
+    - [struct name { ... };] with integer fields ([char], [short],
+      [int], [long], [__u8..__u64], [size_t]), fixed-size [char]
+      arrays (becoming buffers) and pointers (becoming [ptr]);
+    - [_IO]/[_IOR]/[_IOW]/[_IOWR] ioctl macros, converted into
+      [ioctl$NAME] specializations on a caller-chosen fd resource;
+    - function prototypes ([long foo(int fd, const char *buf, size_t
+      count);]), converted into syscall declarations.
+
+    The output is valid input for {!Target.of_string} once concatenated
+    after a prelude declaring the fd resource. *)
+
+type item =
+  | Define of string * int64
+  | Struct_def of string * (string * string) list
+      (** (field name, converted Syzlang type). *)
+  | Ioctl of { iname : string; dir : string; code : int64; arg : string option }
+      (** [dir] is "none", "in", "out" or "inout"; [arg] the struct. *)
+  | Proto of { pname : string; ret : string; params : (string * string) list }
+      (** (converted Syzlang type, param name). *)
+
+exception Unsupported of string
+
+val parse : string -> item list
+(** Parse the supported subset; unsupported lines are skipped, but a
+    malformed construct that starts like a supported one raises
+    {!Unsupported}. *)
+
+val convert : ?fd_resource:string -> string -> string
+(** [convert header] emits Syzlang text: flag sets from grouped
+    defines, struct definitions, one [ioctl$NAME] per ioctl macro
+    (against [fd_resource], default ["fd"]) and one declaration per
+    prototype. *)
+
+val group_defines : (string * int64) list -> (string * (string * int64) list) list
+(** Group constants by longest shared [PREFIX_]; exposed for tests. *)

@@ -1,0 +1,4 @@
+type t = { fname : string; fty : Ty.t }
+
+let v fname fty = { fname; fty }
+let pp ppf { fname; fty } = Fmt.pf ppf "%s %a" fname Ty.pp fty

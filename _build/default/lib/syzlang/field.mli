@@ -1,0 +1,6 @@
+(** A named, typed slot: a syscall argument or a struct/union member. *)
+
+type t = { fname : string; fty : Ty.t }
+
+val v : string -> Ty.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type token =
+  | IDENT of string
+  | INT of int64
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | EQUALS
+  | NEWLINE
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+let fail line msg = raise (Error { line; msg })
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "ident %s" s
+  | INT v -> Fmt.pf ppf "int %Ld" v
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACK -> Fmt.string ppf "["
+  | RBRACK -> Fmt.string ppf "]"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | COMMA -> Fmt.string ppf ","
+  | COLON -> Fmt.string ppf ":"
+  | EQUALS -> Fmt.string ppf "="
+  | NEWLINE -> Fmt.string ppf "<newline>"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let depth = ref 0 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let last_is_newline () =
+    match !tokens with (NEWLINE, _) :: _ | [] -> true | _ -> false
+  in
+  let rec skip_comment i = if i < n && src.[i] <> '\n' then skip_comment (i + 1) else i in
+  let read_ident i =
+    let j = ref i in
+    while !j < n && is_ident_char src.[!j] do incr j done;
+    (String.sub src i (!j - i), !j)
+  in
+  let read_number i =
+    let neg = src.[i] = '-' in
+    let i = if neg then i + 1 else i in
+    if i >= n || not (is_digit src.[i]) then fail !line "malformed number";
+    let hex = i + 1 < n && src.[i] = '0' && (src.[i + 1] = 'x' || src.[i + 1] = 'X') in
+    let start = if hex then i + 2 else i in
+    let j = ref start in
+    let valid = if hex then is_hex_digit else is_digit in
+    while !j < n && valid src.[!j] do incr j done;
+    if !j = start then fail !line "malformed number";
+    let digits = String.sub src start (!j - start) in
+    let v =
+      try
+        if hex then Int64.of_string ("0x" ^ digits) else Int64.of_string digits
+      with Failure _ -> fail !line ("number out of range: " ^ digits)
+    in
+    ((if neg then Int64.neg v else v), !j)
+  in
+  let read_string i =
+    (* i points at the opening quote *)
+    let j = ref (i + 1) in
+    while !j < n && src.[!j] <> '"' && src.[!j] <> '\n' do incr j done;
+    if !j >= n || src.[!j] = '\n' then fail !line "unterminated string literal";
+    (String.sub src (i + 1) (!j - i - 1), !j + 1)
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        if !depth = 0 && not (last_is_newline ()) then emit NEWLINE;
+        incr line;
+        go (i + 1)
+      | '#' -> go (skip_comment i)
+      | '(' -> incr depth; emit LPAREN; go (i + 1)
+      | ')' -> decr depth; emit RPAREN; go (i + 1)
+      | '[' -> incr depth; emit LBRACK; go (i + 1)
+      | ']' -> decr depth; emit RBRACK; go (i + 1)
+      | '{' -> incr depth; emit LBRACE; go (i + 1)
+      | '}' -> decr depth; emit RBRACE; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | ':' -> emit COLON; go (i + 1)
+      | '=' -> emit EQUALS; go (i + 1)
+      | '"' ->
+        let s, j = read_string i in
+        emit (STRING s);
+        go j
+      | '-' ->
+        let v, j = read_number i in
+        emit (INT v);
+        go j
+      | c when is_digit c ->
+        let v, j = read_number i in
+        emit (INT v);
+        go j
+      | c when is_ident_start c ->
+        let s, j = read_ident i in
+        emit (IDENT s);
+        go j
+      | c -> fail !line (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  if not (last_is_newline ()) then emit NEWLINE;
+  emit EOF;
+  List.rev !tokens

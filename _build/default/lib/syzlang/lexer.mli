@@ -1,0 +1,29 @@
+(** Lexer for the Syzlang-subset description language.
+
+    The language is line-oriented: a newline ends a declaration unless it
+    occurs inside parentheses, brackets or braces. Comments run from [#]
+    to end of line. *)
+
+type token =
+  | IDENT of string  (** Identifiers; may contain [$] (specializations). *)
+  | INT of int64  (** Decimal or [0x] hexadecimal, optional [-] sign. *)
+  | STRING of string  (** Double-quoted literal, no escapes. *)
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | EQUALS
+  | NEWLINE  (** Declaration separator (only emitted at bracket depth 0). *)
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] returns tokens paired with their 1-based line number,
+    ending with [EOF]. Raises {!Error} on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,292 @@
+type decl =
+  | Resource of { name : string; parent : string; values : int64 list }
+  | Flagset of { name : string; values : int64 list }
+  | Structdef of { name : string; fields : Field.t list }
+  | Uniondef of { name : string; fields : Field.t list }
+  | Call of { name : string; args : Field.t list; ret : string option }
+
+exception Error of { line : int; msg : string }
+
+let fail line msg = raise (Error { line; msg })
+
+(* Mutable token cursor. *)
+type cursor = { mutable toks : (Lexer.token * int) list }
+
+let peek cur =
+  match cur.toks with [] -> (Lexer.EOF, 0) | (t, l) :: _ -> (t, l)
+
+let advance cur =
+  match cur.toks with [] -> () | _ :: rest -> cur.toks <- rest
+
+let next cur =
+  let t = peek cur in
+  advance cur;
+  t
+
+let cur_line cur = snd (peek cur)
+
+let expect cur tok what =
+  let t, l = next cur in
+  if t <> tok then fail l (Fmt.str "expected %s, got %a" what Lexer.pp_token t)
+
+let expect_ident cur what =
+  match next cur with
+  | Lexer.IDENT s, _ -> s
+  | t, l -> fail l (Fmt.str "expected %s, got %a" what Lexer.pp_token t)
+
+let expect_int cur what =
+  match next cur with
+  | Lexer.INT v, _ -> v
+  | t, l -> fail l (Fmt.str "expected %s, got %a" what Lexer.pp_token t)
+
+let parse_dir cur =
+  match next cur with
+  | Lexer.IDENT "in", _ -> Ty.In
+  | Lexer.IDENT "out", _ -> Ty.Out
+  | Lexer.IDENT "inout", _ -> Ty.In_out
+  | t, l -> fail l (Fmt.str "expected direction, got %a" Lexer.pp_token t)
+
+let int_bits_of_name = function
+  | "int8" -> Some 8
+  | "int16" -> Some 16
+  | "int32" -> Some 32
+  | "int64" | "intptr" -> Some 64
+  | _ -> None
+
+let parse_string_list cur what =
+  expect cur Lexer.LBRACK "[";
+  let rec go acc =
+    match next cur with
+    | Lexer.STRING s, _ -> (
+      match peek cur with
+      | Lexer.COMMA, _ ->
+        advance cur;
+        go (s :: acc)
+      | Lexer.RBRACK, _ ->
+        advance cur;
+        List.rev (s :: acc)
+      | t, l -> fail l (Fmt.str "expected , or ] in %s, got %a" what Lexer.pp_token t))
+    | t, l -> fail l (Fmt.str "expected string literal in %s, got %a" what Lexer.pp_token t)
+  in
+  go []
+
+let rec parse_ty cur =
+  match next cur with
+  | Lexer.IDENT name, line -> parse_ty_named cur name line
+  | t, l -> fail l (Fmt.str "expected a type, got %a" Lexer.pp_token t)
+
+and parse_ty_named cur name line =
+  match name with
+  | "int8" | "int16" | "int32" | "int64" | "intptr" ->
+    let bits =
+      match int_bits_of_name name with Some b -> b | None -> assert false
+    in
+    let range =
+      match peek cur with
+      | Lexer.LBRACK, _ ->
+        advance cur;
+        let lo = expect_int cur "range low bound" in
+        expect cur Lexer.COLON ":";
+        let hi = expect_int cur "range high bound" in
+        expect cur Lexer.RBRACK "]";
+        if Int64.compare lo hi > 0 then fail line "empty integer range";
+        Some (lo, hi)
+      | _ -> None
+    in
+    Ty.Int { bits; range }
+  | "const" ->
+    expect cur Lexer.LBRACK "[";
+    let v = expect_int cur "const value" in
+    expect cur Lexer.RBRACK "]";
+    Ty.Const v
+  | "flags" ->
+    expect cur Lexer.LBRACK "[";
+    let fname = expect_ident cur "flag set name" in
+    expect cur Lexer.RBRACK "]";
+    Ty.Flags fname
+  | "len" ->
+    expect cur Lexer.LBRACK "[";
+    let target = expect_ident cur "len target field" in
+    expect cur Lexer.RBRACK "]";
+    Ty.Len target
+  | "proc" ->
+    expect cur Lexer.LBRACK "[";
+    let start = expect_int cur "proc start" in
+    expect cur Lexer.COMMA ",";
+    let step = expect_int cur "proc step" in
+    expect cur Lexer.RBRACK "]";
+    Ty.Proc { start; step }
+  | "ptr" ->
+    expect cur Lexer.LBRACK "[";
+    let dir = parse_dir cur in
+    expect cur Lexer.COMMA ",";
+    let elem = parse_ty cur in
+    expect cur Lexer.RBRACK "]";
+    Ty.Ptr { dir; elem }
+  | "buffer" ->
+    expect cur Lexer.LBRACK "[";
+    let dir = parse_dir cur in
+    expect cur Lexer.RBRACK "]";
+    Ty.Buffer { dir }
+  | "string" -> Ty.Str (parse_string_list cur "string")
+  | "filename" -> Ty.Filename (parse_string_list cur "filename")
+  | "array" ->
+    expect cur Lexer.LBRACK "[";
+    let elem = parse_ty cur in
+    let min_len, max_len =
+      match peek cur with
+      | Lexer.COMMA, _ ->
+        advance cur;
+        let lo = Int64.to_int (expect_int cur "array min length") in
+        expect cur Lexer.COLON ":";
+        let hi = Int64.to_int (expect_int cur "array max length") in
+        if lo < 0 || hi < lo then fail line "bad array length range";
+        (lo, hi)
+      | _ -> (0, 4)
+    in
+    expect cur Lexer.RBRACK "]";
+    Ty.Array { elem; min_len; max_len }
+  | "vma" -> Ty.Vma
+  | "in" | "out" | "inout" -> fail line "direction keyword is not a type"
+  | _ ->
+    (* Bare reference: resource, struct or union; Target.compile resolves.
+       An optional trailing direction keyword applies to resources. *)
+    let dir =
+      match peek cur with
+      | Lexer.IDENT "in", _ ->
+        advance cur;
+        Ty.In
+      | Lexer.IDENT "out", _ ->
+        advance cur;
+        Ty.Out
+      | Lexer.IDENT "inout", _ ->
+        advance cur;
+        Ty.In_out
+      | _ -> Ty.In
+    in
+    Ty.Res { kind = name; dir }
+
+let parse_field cur =
+  let fname = expect_ident cur "field name" in
+  let fty = parse_ty cur in
+  Field.v fname fty
+
+(* field, field, ... terminated by [stop]. *)
+let parse_fields cur stop what =
+  let rec go acc =
+    match peek cur with
+    | t, _ when t = stop ->
+      advance cur;
+      List.rev acc
+    | _ ->
+      let f = parse_field cur in
+      (match peek cur with
+      | Lexer.COMMA, _ -> advance cur
+      | t, _ when t = stop -> ()
+      | t, l -> fail l (Fmt.str "expected , in %s, got %a" what Lexer.pp_token t));
+      go (f :: acc)
+  in
+  go []
+
+let parse_int_values cur =
+  let rec go acc =
+    match peek cur with
+    | Lexer.INT v, _ ->
+      advance cur;
+      (match peek cur with Lexer.COMMA, _ -> advance cur | _ -> ());
+      go (v :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_resource cur =
+  let name = expect_ident cur "resource name" in
+  expect cur Lexer.LBRACK "[";
+  let parent = expect_ident cur "resource parent" in
+  expect cur Lexer.RBRACK "]";
+  let values =
+    match peek cur with
+    | Lexer.COLON, _ ->
+      advance cur;
+      parse_int_values cur
+    | _ -> []
+  in
+  Resource { name; parent; values }
+
+let parse_flagset cur =
+  let name = expect_ident cur "flag set name" in
+  expect cur Lexer.EQUALS "=";
+  let line = cur_line cur in
+  let values = parse_int_values cur in
+  if values = [] then fail line "flag set needs at least one value";
+  Flagset { name; values }
+
+let parse_struct_like cur ctor =
+  let name = expect_ident cur "type name" in
+  expect cur Lexer.LBRACE "{";
+  let line = cur_line cur in
+  let fields = parse_fields cur Lexer.RBRACE "struct/union body" in
+  if fields = [] then fail line "empty struct/union";
+  ctor name fields
+
+let parse_call cur name =
+  expect cur Lexer.LPAREN "(";
+  let args = parse_fields cur Lexer.RPAREN "argument list" in
+  let ret =
+    match peek cur with
+    | Lexer.IDENT r, _ ->
+      advance cur;
+      Some r
+    | _ -> None
+  in
+  Call { name; args; ret }
+
+let parse_decl cur =
+  match next cur with
+  | Lexer.IDENT "resource", _ -> parse_resource cur
+  | Lexer.IDENT "flags", l -> (
+    (* Disambiguate the [flags] keyword from a syscall named flags. *)
+    match peek cur with
+    | Lexer.IDENT _, _ -> parse_flagset cur
+    | t, _ -> fail l (Fmt.str "expected flag set name, got %a" Lexer.pp_token t))
+  | Lexer.IDENT "struct", _ ->
+    parse_struct_like cur (fun name fields -> Structdef { name; fields })
+  | Lexer.IDENT "union", _ ->
+    parse_struct_like cur (fun name fields -> Uniondef { name; fields })
+  | Lexer.IDENT name, _ -> parse_call cur name
+  | t, l -> fail l (Fmt.str "expected a declaration, got %a" Lexer.pp_token t)
+
+let parse src =
+  let cur = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek cur with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.NEWLINE, _ ->
+      advance cur;
+      go acc
+    | _ ->
+      let d = parse_decl cur in
+      (match next cur with
+      | Lexer.NEWLINE, _ | Lexer.EOF, _ -> ()
+      | t, l -> fail l (Fmt.str "trailing tokens after declaration: %a" Lexer.pp_token t));
+      go (d :: acc)
+  in
+  go []
+
+let pp_decl ppf = function
+  | Resource { name; parent; values = [] } ->
+    Fmt.pf ppf "resource %s[%s]" name parent
+  | Resource { name; parent; values } ->
+    Fmt.pf ppf "resource %s[%s]: %a" name parent Fmt.(list ~sep:sp int64) values
+  | Flagset { name; values } ->
+    Fmt.pf ppf "flags %s = %a" name Fmt.(list ~sep:sp int64) values
+  | Structdef { name; fields } ->
+    Fmt.pf ppf "struct %s { %a }" name Fmt.(list ~sep:(any ", ") Field.pp) fields
+  | Uniondef { name; fields } ->
+    Fmt.pf ppf "union %s { %a }" name Fmt.(list ~sep:(any ", ") Field.pp) fields
+  | Call { name; args; ret } ->
+    Fmt.pf ppf "%s(%a)%a" name
+      Fmt.(list ~sep:(any ", ") Field.pp)
+      args
+      Fmt.(option (fun ppf r -> pf ppf " %s" r))
+      ret

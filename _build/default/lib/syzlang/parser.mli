@@ -1,0 +1,39 @@
+(** Recursive-descent parser for the Syzlang-subset description language.
+
+    Grammar (one declaration per line):
+    {v
+    resource NAME[PARENT] (: INT ...)?
+    flags NAME = INT INT ...          # also accepts comma separators
+    struct NAME { field ty, field ty, ... }
+    union NAME { field ty, field ty, ... }
+    NAME(field ty, ...) RET_RESOURCE?
+    v}
+
+    Type expressions:
+    {v
+    int8|int16|int32|int64|intptr ([lo:hi])?
+    const[INT]      flags[NAME]    len[FIELD]    proc[START, STEP]
+    ptr[DIR, TY]    buffer[DIR]    vma
+    string["lit", ...]             filename["lit", ...]
+    array[TY] | array[TY, MIN:MAX]
+    NAME (in|out|inout)?           # resource / struct / union reference
+    v}
+
+    Bare-name references are left as [Ty.Res] and resolved against the
+    declared structs and unions by {!Target.compile}. *)
+
+type decl =
+  | Resource of { name : string; parent : string; values : int64 list }
+      (** [parent] is either a builtin integer type name or another
+          resource name. *)
+  | Flagset of { name : string; values : int64 list }
+  | Structdef of { name : string; fields : Field.t list }
+  | Uniondef of { name : string; fields : Field.t list }
+  | Call of { name : string; args : Field.t list; ret : string option }
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> decl list
+(** Raises {!Error} or {!Lexer.Error} on malformed input. *)
+
+val pp_decl : Format.formatter -> decl -> unit

@@ -1,0 +1,54 @@
+type t = {
+  id : int;
+  name : string;
+  base : string;
+  args : Field.t list;
+  ret : string option;
+}
+
+let variant c =
+  match String.index_opt c.name '$' with
+  | None -> None
+  | Some i -> Some (String.sub c.name (i + 1) (String.length c.name - i - 1))
+
+let is_specialization c = variant c <> None
+
+(* Walk a type expression collecting resource kinds whose data-flow
+   direction satisfies [keep]. A pointer's direction overrides the
+   direction of the resource it points to: [ptr[out, fd]] produces. *)
+let rec collect_res ~keep ~ptr_dir acc (ty : Ty.t) =
+  match ty with
+  | Ty.Res { kind; dir } ->
+    let dir = match ptr_dir with Some d -> d | None -> dir in
+    if keep dir then kind :: acc else acc
+  | Ty.Ptr { dir; elem } -> collect_res ~keep ~ptr_dir:(Some dir) acc elem
+  | Ty.Array { elem; _ } -> collect_res ~keep ~ptr_dir acc elem
+  | Ty.Int _ | Ty.Const _ | Ty.Flags _ | Ty.Len _ | Ty.Proc _ | Ty.Buffer _
+  | Ty.Str _ | Ty.Filename _ | Ty.Struct_ref _ | Ty.Union_ref _ | Ty.Vma ->
+    acc
+
+let dedup xs = List.sort_uniq String.compare xs
+
+let produces c =
+  let keep = function Ty.Out | Ty.In_out -> true | Ty.In -> false in
+  let from_args =
+    List.fold_left
+      (fun acc (f : Field.t) -> collect_res ~keep ~ptr_dir:None acc f.fty)
+      [] c.args
+  in
+  let all = match c.ret with Some r -> r :: from_args | None -> from_args in
+  dedup all
+
+let consumes c =
+  let keep = function Ty.In | Ty.In_out -> true | Ty.Out -> false in
+  dedup
+    (List.fold_left
+       (fun acc (f : Field.t) -> collect_res ~keep ~ptr_dir:None acc f.fty)
+       [] c.args)
+
+let pp ppf c =
+  Fmt.pf ppf "%s(%a)%a" c.name
+    Fmt.(list ~sep:(any ", ") Field.pp)
+    c.args
+    Fmt.(option (fun ppf r -> Fmt.pf ppf " %s" r))
+    c.ret

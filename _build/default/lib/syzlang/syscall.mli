@@ -1,0 +1,29 @@
+(** A system call description.
+
+    Specialized calls use Syzlang's [base$variant] convention, e.g.
+    [ioctl$KVM_RUN] is a specialization of [ioctl]. *)
+
+type t = {
+  id : int;  (** Dense index into the target's syscall table. *)
+  name : string;  (** Full name, possibly [base$variant]. *)
+  base : string;  (** Name before the [$]. *)
+  args : Field.t list;
+  ret : string option;  (** Resource kind produced by the return value. *)
+}
+
+val variant : t -> string option
+(** [variant c] is the part after [$], if any. *)
+
+val is_specialization : t -> bool
+
+val produces : t -> string list
+(** Resource kinds this call can produce: its return kind plus any
+    [ptr\[out, resource\]] (or direct [Res] with out direction)
+    argument, recursively through structs-free positions (pointers and
+    arrays are traversed; struct members are resolved by {!Target}). *)
+
+val consumes : t -> string list
+(** Resource kinds consumed: [Res] arguments with inward direction,
+    traversed through pointers and arrays. *)
+
+val pp : Format.formatter -> t -> unit

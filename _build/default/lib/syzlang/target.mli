@@ -1,0 +1,78 @@
+(** A compiled description set: the fuzzing target's interface model.
+
+    Compilation resolves bare-name type references (resource vs struct vs
+    union), validates flag-set / length-field / resource references,
+    checks resource inheritance for cycles, assigns dense syscall ids and
+    precomputes producer/consumer indices used by static relation
+    learning and by sequence generation. *)
+
+type t
+
+exception Compile_error of string
+
+val compile : ?name:string -> Parser.decl list -> t
+(** Raises {!Compile_error} on invalid declarations. *)
+
+val of_string : ?name:string -> string -> t
+(** Lex + parse + {!compile}. Raises {!Compile_error}, {!Parser.Error} or
+    {!Lexer.Error}. *)
+
+val name : t -> string
+val n_syscalls : t -> int
+val syscalls : t -> Syscall.t array
+
+val syscall : t -> int -> Syscall.t
+(** Raises [Invalid_argument] if the id is out of range. *)
+
+val find : t -> string -> Syscall.t option
+(** Lookup by full name, e.g. ["ioctl$KVM_RUN"]. *)
+
+val find_exn : t -> string -> Syscall.t
+(** Raises [Not_found]. *)
+
+val flag_values : t -> string -> int64 array
+val struct_fields : t -> string -> Field.t list
+val union_fields : t -> string -> Field.t list
+
+val resource_kinds : t -> string list
+(** All declared resource kind names, sorted. *)
+
+val resource_parent : t -> string -> string option
+(** Parent resource kind, or [None] if the parent is a builtin integer. *)
+
+val resource_special_values : t -> string -> int64 array
+(** Special values (e.g. [-1] for fds) usable in place of a real
+    instance; empty if none were declared. *)
+
+val is_subtype : t -> sub:string -> sup:string -> bool
+(** Reflexive-transitive resource inheritance: [is_subtype ~sub ~sup]
+    holds if [sub] equals [sup] or inherits from it. *)
+
+val compatible : t -> consumer:string -> producer:string -> bool
+(** A produced resource of kind [producer] may be passed where kind
+    [consumer] is expected iff [producer] is a subtype of [consumer]. *)
+
+val produces : t -> Syscall.t -> string list
+(** Resource kinds the call can produce, with struct/union members
+    expanded. *)
+
+val consumes : t -> Syscall.t -> string list
+
+val producers_of : t -> string -> Syscall.t list
+(** Calls producing a kind compatible with the given consumer kind. *)
+
+val consumers_of : t -> string -> Syscall.t list
+(** Calls consuming a kind compatible with the given producer kind. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val lint : t -> string list
+(** Description-quality diagnostics, addressing the paper's Section 8
+    concern that hand-written descriptions are neither complete nor
+    correct. Reported (as human-readable warnings):
+    - resource kinds nothing produces (their consumers can only ever
+      receive special values);
+    - resource kinds nothing consumes (producing them is pointless);
+    - flag sets no call references;
+    - structs/unions no call reaches;
+    - calls consuming a kind that has no producer. *)

@@ -1,0 +1,47 @@
+type dir = In | Out | In_out
+
+type t =
+  | Int of { bits : int; range : (int64 * int64) option }
+  | Const of int64
+  | Flags of string
+  | Len of string
+  | Proc of { start : int64; step : int64 }
+  | Res of { kind : string; dir : dir }
+  | Ptr of { dir : dir; elem : t }
+  | Buffer of { dir : dir }
+  | Str of string list
+  | Filename of string list
+  | Array of { elem : t; min_len : int; max_len : int }
+  | Struct_ref of string
+  | Union_ref of string
+  | Vma
+
+let pp_dir ppf = function
+  | In -> Fmt.string ppf "in"
+  | Out -> Fmt.string ppf "out"
+  | In_out -> Fmt.string ppf "inout"
+
+let rec pp ppf = function
+  | Int { bits; range = None } -> Fmt.pf ppf "int%d" bits
+  | Int { bits; range = Some (lo, hi) } -> Fmt.pf ppf "int%d[%Ld:%Ld]" bits lo hi
+  | Const v -> Fmt.pf ppf "const[0x%Lx]" v
+  | Flags name -> Fmt.pf ppf "flags[%s]" name
+  | Len field -> Fmt.pf ppf "len[%s]" field
+  | Proc { start; step } -> Fmt.pf ppf "proc[%Ld, %Ld]" start step
+  | Res { kind; dir = In } -> Fmt.string ppf kind
+  | Res { kind; dir } -> Fmt.pf ppf "%s %a" kind pp_dir dir
+  | Ptr { dir; elem } -> Fmt.pf ppf "ptr[%a, %a]" pp_dir dir pp elem
+  | Buffer { dir } -> Fmt.pf ppf "buffer[%a]" pp_dir dir
+  | Str lits -> Fmt.pf ppf "string[%a]" Fmt.(list ~sep:comma (quote string)) lits
+  | Filename lits ->
+    Fmt.pf ppf "filename[%a]" Fmt.(list ~sep:comma (quote string)) lits
+  | Array { elem; min_len; max_len } ->
+    Fmt.pf ppf "array[%a, %d:%d]" pp elem min_len max_len
+  | Struct_ref name -> Fmt.pf ppf "struct %s" name
+  | Union_ref name -> Fmt.pf ppf "union %s" name
+  | Vma -> Fmt.string ppf "vma"
+
+let to_string t = Fmt.str "%a" pp t
+
+let is_resource = function Res _ -> true | _ -> false
+let int_bits_valid bits = bits = 8 || bits = 16 || bits = 32 || bits = 64

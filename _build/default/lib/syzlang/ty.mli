@@ -1,0 +1,37 @@
+(** Type expressions of the Syzlang subset.
+
+    The subset keeps everything HEALER's algorithms depend on: resource
+    types with inheritance and direction, pointers with data-flow
+    direction, flag sets, length fields, buffers, strings/filenames,
+    fixed-size integers with optional ranges, structs, unions, arrays,
+    [vma] regions and per-process values. *)
+
+type dir = In | Out | In_out
+
+type t =
+  | Int of { bits : int; range : (int64 * int64) option }
+      (** [bits] in {8,16,32,64}; [range] constrains generated values. *)
+  | Const of int64  (** Fixed value, e.g. an ioctl command number. *)
+  | Flags of string  (** Reference to a named flag set of the target. *)
+  | Len of string  (** Length (in bytes) of the named sibling argument. *)
+  | Proc of { start : int64; step : int64 }
+      (** Per-process value, [start + proc_id * step]. *)
+  | Res of { kind : string; dir : dir }
+      (** Resource use. [dir = In] consumes, [dir = Out] produces. *)
+  | Ptr of { dir : dir; elem : t }
+  | Buffer of { dir : dir }
+  | Str of string list  (** String drawn from the candidate literals. *)
+  | Filename of string list
+  | Array of { elem : t; min_len : int; max_len : int }
+  | Struct_ref of string
+  | Union_ref of string
+  | Vma
+
+val pp_dir : Format.formatter -> dir -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_resource : t -> bool
+(** True for [Res _] at the top level. *)
+
+val int_bits_valid : int -> bool

@@ -1,0 +1,1 @@
+lib/util/asciichart.ml: Array Buffer List Printf String

@@ -1,0 +1,55 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let resample values width =
+  let n = Array.length values in
+  Array.init width (fun col ->
+      let idx = col * (n - 1) / max 1 (width - 1) in
+      values.(min idx (n - 1)))
+
+let render ?(width = 64) ?(height = 16) ~series () =
+  if series = [] then invalid_arg "Asciichart.render: no series";
+  if List.length series > Array.length glyphs then
+    invalid_arg "Asciichart.render: too many series";
+  List.iter
+    (fun (_, v) ->
+      if Array.length v = 0 then invalid_arg "Asciichart.render: empty series")
+    series;
+  let vmax =
+    List.fold_left
+      (fun acc (_, v) -> Array.fold_left max acc v)
+      1.0 series
+  in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun k (_, values) ->
+      let sampled = resample values width in
+      Array.iteri
+        (fun col v ->
+          let row =
+            height - 1 - int_of_float (v /. vmax *. float_of_int (height - 1))
+          in
+          let row = max 0 (min (height - 1) row) in
+          grid.(row).(col) <- glyphs.(k))
+        sampled)
+    series;
+  let buf = Buffer.create (height * (width + 16)) in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then Printf.sprintf "%8.0f |" vmax
+        else if row = height - 1 then Printf.sprintf "%8.0f |" 0.0
+        else "         |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun col -> line.(col)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+  let legend =
+    List.mapi
+      (fun k (name, _) -> Printf.sprintf "%c %s" glyphs.(k) name)
+      series
+    |> String.concat "   "
+  in
+  Buffer.add_string buf ("           " ^ legend ^ "\n");
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Minimal ASCII line charts for terminal reports (Figure 4's coverage
+    curves in the bench output).
+
+    Renders one or more series sampled on a shared x-axis into a fixed
+    character grid, one plot character per series, with a y-axis scale
+    and a legend line. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  series:(string * float array) list ->
+  unit ->
+  string
+(** [render ~series ()] plots each named series over its index range
+    (series are resampled to [width] columns; the y-range spans 0 to
+    the global maximum). Raises [Invalid_argument] when [series] is
+    empty, any series is empty, or more than 6 series are given. *)

@@ -1,0 +1,77 @@
+type t = {
+  mutable bits : Bytes.t;
+  mutable card : int;
+}
+
+let create ?(capacity = 1024) () =
+  { bits = Bytes.make (max 1 ((capacity + 7) / 8)) '\000'; card = 0 }
+
+let ensure t i =
+  let needed = (i / 8) + 1 in
+  let len = Bytes.length t.bits in
+  if needed > len then begin
+    let grown = Bytes.make (max needed (len * 2)) '\000' in
+    Bytes.blit t.bits 0 grown 0 len;
+    t.bits <- grown
+  end
+
+let mem t i =
+  if i < 0 then invalid_arg "Bitset.mem: negative index";
+  let byte = i / 8 in
+  byte < Bytes.length t.bits
+  && Char.code (Bytes.get t.bits byte) land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  if i < 0 then invalid_arg "Bitset.add: negative index";
+  ensure t i;
+  let byte = i / 8 and bit = 1 lsl (i mod 8) in
+  let cur = Char.code (Bytes.get t.bits byte) in
+  if cur land bit = 0 then begin
+    Bytes.set t.bits byte (Char.chr (cur lor bit));
+    t.card <- t.card + 1
+  end
+
+let count t = t.card
+
+let add_seq t ids =
+  List.fold_left
+    (fun fresh i ->
+      if mem t i then fresh
+      else begin
+        add t i;
+        fresh + 1
+      end)
+    0 ids
+
+let new_of t ids =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun i ->
+      if mem t i || Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.add seen i ();
+        true
+      end)
+    ids
+
+let iter f t =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let v = Char.code (Bytes.get t.bits byte) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then f ((byte * 8) + bit)
+      done
+  done
+
+let union_into ~dst src = iter (fun i -> add dst i) src
+
+let copy t = { bits = Bytes.copy t.bits; card = t.card }
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.card <- 0
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

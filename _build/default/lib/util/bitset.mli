@@ -1,0 +1,30 @@
+(** Growable bit set over non-negative integers.
+
+    Used for coverage bitmaps: branch identifiers index into the set.
+    The set grows transparently on [add]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val add : t -> int -> unit
+(** [add t i] sets bit [i]. Requires [i >= 0]. *)
+
+val mem : t -> int -> bool
+val count : t -> int
+(** Number of set bits (cached, O(1) amortized). *)
+
+val add_seq : t -> int list -> int
+(** [add_seq t ids] adds every id and returns how many were new. *)
+
+val new_of : t -> int list -> int list
+(** [new_of t ids] returns the sublist of [ids] not present in [t]
+    (without adding them; duplicates within [ids] collapse to one). *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst]. *)
+
+val copy : t -> t
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val elements : t -> int list
+(** Set bits in increasing order. *)

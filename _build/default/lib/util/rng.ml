@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: Stafford's mix13 variant. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let int64 t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64: bound must be positive";
+  let v = Int64.logand (bits64 t) Int64.max_int in
+  Int64.rem v bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (_, w) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let target = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: internal"
+    | (x, w) :: rest ->
+      let acc = acc + max 0 w in
+      if target < acc then x else go acc rest
+  in
+  go 0 choices
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  shuffle t a;
+  let n = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 n)

@@ -1,0 +1,58 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Every stochastic decision in the fuzzer flows through a value of type
+    {!t} so that campaigns are reproducible from a single integer seed.
+    The implementation is SplitMix64, which is fast, has a 64-bit state,
+    and supports cheap splitting for independent sub-streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. Two generators created from the same seed produce the same
+    stream. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the
+    same stream. Used by tests only. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\]. Requires [lo <= hi]. *)
+
+val int64 : t -> int64 -> int64
+(** [int64 t bound] is uniform in \[0, bound). Requires [bound > 0L]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to \[0,1\]). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty array. *)
+
+val weighted : t -> ('a * int) list -> 'a
+(** [weighted t choices] picks proportionally to the (positive) weights.
+    Raises [Invalid_argument] if the list is empty or total weight is 0. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] returns at most [k] distinct elements of [xs], in a
+    random order. *)

@@ -1,0 +1,56 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum = function
+  | [] -> invalid_arg "Statx.minimum: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Statx.maximum: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile p = function
+  | [] -> invalid_arg "Statx.percentile: empty"
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    List.nth sorted idx
+
+let histogram ~buckets xs =
+  (* Buckets must be consecutive integers, or values falling between
+     them would be silently dropped. *)
+  let rec consecutive = function
+    | a :: (b :: _ as rest) ->
+      if b <> a + 1 then invalid_arg "Statx.histogram: buckets not consecutive"
+      else consecutive rest
+    | [ _ ] | [] -> ()
+  in
+  consecutive buckets;
+  match List.rev buckets with
+  | [] -> invalid_arg "Statx.histogram: no buckets"
+  | last :: _ ->
+    let counts = List.map (fun b -> (string_of_int b, ref 0)) buckets in
+    let overflow = ref 0 in
+    let bump x =
+      match List.assoc_opt (string_of_int x) counts with
+      | Some r when x <= last -> incr r
+      | Some _ | None -> if x > last then incr overflow
+    in
+    List.iter bump xs;
+    List.map (fun (label, r) -> (label, !r)) counts
+    @ [ (string_of_int (last + 1) ^ "+", !overflow) ]
+
+let pct base v =
+  if base = 0.0 then invalid_arg "Statx.pct: zero base";
+  (v -. base) /. base *. 100.0

@@ -1,0 +1,28 @@
+(** Small numeric helpers used by the campaign engine and benches. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val minimum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in \[0,100\], nearest-rank on the sorted
+    list. Raises [Invalid_argument] on the empty list. *)
+
+val histogram : buckets:int list -> int list -> (string * int) list
+(** [histogram ~buckets:[1;2;3;4] xs] counts values equal to each bucket,
+    with a final ["5+"]-style overflow bucket for values beyond the last.
+    Bucket labels are the printed bucket values. Buckets must be
+    consecutive integers (raises [Invalid_argument] otherwise — gaps
+    would silently drop values). *)
+
+val pct : float -> float -> float
+(** [pct base v] is the percentage improvement of [v] over [base]:
+    [(v -. base) /. base *. 100.]. Requires [base <> 0]. *)

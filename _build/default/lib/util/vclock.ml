@@ -1,0 +1,11 @@
+type t = { mutable t : float }
+
+let create () = { t = 0.0 }
+let now c = c.t
+
+let advance c dt =
+  if dt < 0.0 then invalid_arg "Vclock.advance: negative dt";
+  c.t <- c.t +. dt
+
+let hours h = h *. 3600.0
+let minutes m = m *. 60.0

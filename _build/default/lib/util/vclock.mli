@@ -1,0 +1,19 @@
+(** Virtual clock for deterministic, laptop-scale campaign simulation.
+
+    The paper runs 24-hour wall-clock campaigns; we charge each executed
+    program a simulated cost instead, so a full "24 hours" completes in
+    seconds and is exactly reproducible. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Seconds of virtual time elapsed. *)
+
+val advance : t -> float -> unit
+(** [advance t dt] moves the clock forward by [dt] seconds ([dt >= 0]). *)
+
+val hours : float -> float
+(** [hours h] is [h] in seconds. *)
+
+val minutes : float -> float

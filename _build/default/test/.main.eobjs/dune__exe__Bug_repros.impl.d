@@ -1,0 +1,1 @@
+test/bug_repros.ml: Bytes Healer_executor Healer_kernel Helpers List String Value

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes Healer_executor Healer_kernel Healer_syzlang Healer_util Int64 Lazy Option QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Choice_table Distill Healer_core Healer_executor Healer_syzlang Helpers List Printf Seeds

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Array Bug_repros Healer_executor Healer_kernel Helpers Int64 List

@@ -1,0 +1,1 @@
+test/test_cheader.ml: Alcotest Array Char Healer_core Healer_syzlang Helpers Int64 List

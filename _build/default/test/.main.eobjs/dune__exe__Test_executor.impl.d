@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Buffer Bytes Healer_executor Healer_kernel Healer_syzlang Helpers Int64 List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_genmut.ml: Alcotest Array Builder Corpus Gen Healer_core Healer_executor Healer_syzlang Healer_util Helpers Int64 List Mutate Option QCheck2 Value_gen

@@ -1,0 +1,1 @@
+test/test_kernel_bpf.ml: Alcotest Array Healer_executor Healer_kernel Helpers List Value

@@ -1,0 +1,1 @@
+test/test_kernel_core.ml: Alcotest Array Healer_executor Healer_kernel Healer_syzlang Helpers List Option String

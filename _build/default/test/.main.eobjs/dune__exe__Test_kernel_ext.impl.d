@@ -1,0 +1,1 @@
+test/test_kernel_ext.ml: Alcotest Array Healer_executor Healer_kernel Helpers Int64 List Value

@@ -1,0 +1,1 @@
+test/test_kernel_ipc.ml: Alcotest Array Healer_core Healer_executor Healer_kernel Healer_syzlang Helpers

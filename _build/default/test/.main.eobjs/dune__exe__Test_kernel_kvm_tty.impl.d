@@ -1,0 +1,1 @@
+test/test_kernel_kvm_tty.ml: Alcotest Array Healer_executor Healer_kernel Helpers

@@ -1,0 +1,1 @@
+test/test_kernel_misc.ml: Alcotest Array Healer_executor Healer_kernel Helpers Value

@@ -1,0 +1,1 @@
+test/test_kernel_sock.ml: Alcotest Array Healer_executor Healer_kernel Helpers Value

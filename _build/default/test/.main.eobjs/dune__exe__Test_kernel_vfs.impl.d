@@ -1,0 +1,1 @@
+test/test_kernel_vfs.ml: Alcotest Array Healer_executor Healer_kernel Helpers Value

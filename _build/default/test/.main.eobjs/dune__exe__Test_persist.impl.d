@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Corpus Filename Fun Fuzzer Healer_core Healer_executor Healer_kernel Healer_syzlang Helpers List Option Persist Relation_table String Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bytes Char Dynamic_learning Gen Healer_core Healer_executor Healer_kernel Healer_syzlang Healer_util Helpers List Minimize Prog_cov QCheck2 Relation_table

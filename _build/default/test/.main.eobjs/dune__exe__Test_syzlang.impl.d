@@ -1,0 +1,1 @@
+test/test_syzlang.ml: Alcotest Array Healer_kernel Healer_syzlang Helpers List Printf String

@@ -1,0 +1,1 @@
+test/test_triage_fuzzer.ml: Alcotest Campaign Corpus Fuzzer Healer_core Healer_executor Healer_kernel Helpers List Option Relation_table Static_learning Triage

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Healer_util Helpers List QCheck2 String

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "healer"
+    [
+      ("util", Test_util.suite);
+      ("syzlang", Test_syzlang.suite);
+      ("cheader", Test_cheader.suite);
+      ("executor", Test_executor.suite);
+      ("bugs", Test_bugs.suite);
+      ("kernel-core", Test_kernel_core.suite);
+      ("kernel-vfs", Test_kernel_vfs.suite);
+      ("kernel-sock", Test_kernel_sock.suite);
+      ("kernel-kvm-tty", Test_kernel_kvm_tty.suite);
+      ("kernel-misc", Test_kernel_misc.suite);
+      ("kernel-ipc", Test_kernel_ipc.suite);
+      ("kernel-ext", Test_kernel_ext.suite);
+      ("kernel-bpf-inotify", Test_kernel_bpf.suite);
+      ("learning", Test_learning.suite);
+      ("genmut", Test_genmut.suite);
+      ("baselines", Test_baselines.suite);
+      ("triage-fuzzer", Test_triage_fuzzer.suite);
+      ("persist", Test_persist.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,113 @@
+(* One test per catalog bug: its reproducer must crash with exactly its
+   signature on its version, and the catalog must be fully covered. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let repro_test (rp : Bug_repros.repro) =
+  case ("repro " ^ rp.Bug_repros.key) (fun () ->
+      let p = rp.Bug_repros.build () in
+      let result =
+        run ~version:rp.Bug_repros.version ~features:rp.Bug_repros.features
+          ?fault_call:rp.Bug_repros.fault_call p
+      in
+      check_crash "crashes with its own signature" (Some rp.Bug_repros.key)
+        result)
+
+let test_catalog_fully_covered () =
+  let covered =
+    List.map (fun (rp : Bug_repros.repro) -> rp.Bug_repros.key) Bug_repros.all
+  in
+  let missing =
+    List.filter_map
+      (fun (b : K.Bug.t) ->
+        if List.mem b.K.Bug.key covered then None else Some b.K.Bug.key)
+      K.Bug.catalog
+  in
+  Alcotest.(check (list string)) "every catalog bug has a reproducer" [] missing
+
+let test_catalog_shape () =
+  Alcotest.(check int) "table 4 lists 15 bugs" 15
+    (List.length (K.Bug.table4_bugs ()));
+  Alcotest.(check int) "33 previously unknown bugs" 33
+    (List.length (K.Bug.unknown_bugs ()));
+  Alcotest.(check int) "35 previously known bugs" 35
+    (List.length (K.Bug.known_bugs ()));
+  let usb_gated =
+    List.filter (fun (b : K.Bug.t) -> b.K.Bug.requires = Some "usb") K.Bug.catalog
+  in
+  Alcotest.(check int) "3 USB-feature bugs" 3 (List.length usb_gated);
+  List.iter
+    (fun (b : K.Bug.t) ->
+      Alcotest.(check bool)
+        (b.K.Bug.key ^ " usb bugs are previously known")
+        true b.K.Bug.known)
+    usb_gated
+
+let test_catalog_addresses_unique () =
+  (* Crash-log symbolization depends on distinct fake addresses. *)
+  let addrs =
+    List.map (fun (b : K.Bug.t) -> K.Crash.address_of b.K.Bug.key) K.Bug.catalog
+  in
+  Alcotest.(check int) "no address collisions"
+    (List.length addrs)
+    (List.length (List.sort_uniq Int64.compare addrs))
+
+let test_usb_gated_without_feature () =
+  (* Without the usb executor feature the calls fail with ENOSYS and
+     the bugs are unreachable — HEALER's configuration. *)
+  let rp =
+    List.find
+      (fun (x : Bug_repros.repro) -> x.Bug_repros.key = "hub_activate_uaf")
+      Bug_repros.all
+  in
+  let result = run ~version:K.Version.V5_11 ~features:[] (rp.Bug_repros.build ()) in
+  check_crash "silent without usb feature" None result;
+  check_errno "ENOSYS" (Some K.Errno.ENOSYS) result.Exec.calls.(0)
+
+let test_table4_bugs_absent_elsewhere () =
+  (* Table 4 bugs exist only on their listed version: the same repro on
+     a different version must not produce that signature. *)
+  let shifted (v : K.Version.t) : K.Version.t =
+    match v with
+    | K.Version.V5_11 -> K.Version.V5_4
+    | K.Version.V5_4 | K.Version.V5_6 | K.Version.V5_0 | K.Version.V4_19 ->
+      K.Version.V5_11
+  in
+  List.iter
+    (fun (b : K.Bug.t) ->
+      let rp =
+        List.find
+          (fun (x : Bug_repros.repro) -> x.Bug_repros.key = b.K.Bug.key)
+          Bug_repros.all
+      in
+      let result =
+        run
+          ~version:(shifted rp.Bug_repros.version)
+          ~features:rp.Bug_repros.features
+          ?fault_call:rp.Bug_repros.fault_call (rp.Bug_repros.build ())
+      in
+      if crash_key result = Some b.K.Bug.key then
+        Alcotest.fail (b.K.Bug.key ^ " fired outside its version"))
+    (K.Bug.table4_bugs ())
+
+let test_exists_in () =
+  let b = K.Bug.find_exn "vcs_scr_readw" in
+  Alcotest.(check bool) "5.0 yes" true (K.Bug.exists_in b K.Version.V5_0);
+  Alcotest.(check bool) "5.11 yes (no upper bound)" true
+    (K.Bug.exists_in b K.Version.V5_11);
+  Alcotest.(check bool) "4.19 no" false (K.Bug.exists_in b K.Version.V4_19);
+  let t4 = K.Bug.find_exn "bit_putcs" in
+  Alcotest.(check bool) "bounded above" false (K.Bug.exists_in t4 K.Version.V5_11)
+
+let suite =
+  [
+    case "catalog fully covered" test_catalog_fully_covered;
+    case "catalog shape" test_catalog_shape;
+    case "catalog addresses unique" test_catalog_addresses_unique;
+    case "usb gating" test_usb_gated_without_feature;
+    case "table4 version bounds" test_table4_bugs_absent_elsewhere;
+    case "exists_in" test_exists_in;
+  ]
+  @ List.map repro_test Bug_repros.all

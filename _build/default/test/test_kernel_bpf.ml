@@ -1,0 +1,207 @@
+(* BPF maps/programs and inotify event observation. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let map_create ~keys ~vals ~max =
+  call "bpf$MAP_CREATE" [ i 0L; group [ iv keys; iv vals; iv max ] ]
+
+(* A loadable program: last instruction is the exit opcode 0x95. *)
+let prog_load n =
+  let insns = List.init n (fun k -> if k = n - 1 then i 0x95L else i 0x07L) in
+  call "bpf$PROG_LOAD" [ i 5L; group [ Value.Group insns; i 0L ] ]
+
+let test_map_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           map_create ~keys:8 ~vals:16 ~max:2;
+           call "bpf$MAP_LOOKUP_ELEM" [ i 1L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_UPDATE_ELEM" [ i 2L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_LOOKUP_ELEM" [ i 1L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_UPDATE_ELEM" [ i 2L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_UPDATE_ELEM" [ i 2L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_DELETE_ELEM" [ i 3L; r 0; buf 8 ];
+           call "bpf$MAP_UPDATE_ELEM" [ i 2L; r 0; buf 4; buf 16 ];
+         ])
+  in
+  check_errno "lookup empty" (Some K.Errno.ENOENT) r.Exec.calls.(1);
+  check_ok "update" r.Exec.calls.(2);
+  check_ok "lookup" r.Exec.calls.(3);
+  check_ok "second update" r.Exec.calls.(4);
+  check_errno "map full" (Some K.Errno.ENOSPC) r.Exec.calls.(5);
+  check_ok "delete" r.Exec.calls.(6);
+  check_errno "short key" (Some K.Errno.EFAULT) r.Exec.calls.(7)
+
+let test_map_validation () =
+  let r =
+    run
+      (prog
+         [
+           map_create ~keys:0 ~vals:16 ~max:4;
+           map_create ~keys:8 ~vals:0 ~max:4;
+           map_create ~keys:8 ~vals:16 ~max:0;
+         ])
+  in
+  Array.iter
+    (fun (cr : Exec.call_result) ->
+      check_errno "rejected" (Some K.Errno.EINVAL) cr)
+    r.Exec.calls
+
+let test_map_freeze () =
+  let r =
+    run
+      (prog
+         [
+           map_create ~keys:8 ~vals:16 ~max:4;
+           call "bpf$MAP_FREEZE" [ i 22L; r 0 ];
+           call "bpf$MAP_UPDATE_ELEM" [ i 2L; r 0; buf 8; buf 16 ];
+           call "bpf$MAP_FREEZE" [ i 22L; r 0 ];
+         ])
+  in
+  check_ok "freeze" r.Exec.calls.(1);
+  check_errno "update frozen" (Some K.Errno.EPERM) r.Exec.calls.(2);
+  check_errno "double freeze" (Some K.Errno.EBUSY) r.Exec.calls.(3)
+
+let test_prog_verifier () =
+  let no_exit =
+    call "bpf$PROG_LOAD" [ i 5L; group [ Value.Group [ i 0x07L; i 0x07L ]; i 0L ] ]
+  in
+  let empty = call "bpf$PROG_LOAD" [ i 5L; group [ Value.Group []; i 0L ] ] in
+  let r = run (prog [ no_exit; empty; prog_load 4 ]) in
+  check_errno "fall-through rejected" (Some K.Errno.EACCES) r.Exec.calls.(0);
+  check_errno "empty rejected" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "verified" r.Exec.calls.(2)
+
+let test_prog_attach_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           prog_load 4;
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "bpf$PROG_ATTACH" [ i 8L; r 0; r 2; i 0L ]; (* not a socket *)
+           call "bpf$PROG_DETACH" [ i 9L; r 0 ];
+           call "bpf$PROG_ATTACH" [ i 8L; r 0; r 1; i 0L ];
+           call "bpf$PROG_ATTACH" [ i 8L; r 0; r 1; i 0L ];
+           call "bpf$PROG_TEST_RUN" [ i 10L; r 0; buf 64; iv 64 ];
+           call "bpf$PROG_DETACH" [ i 9L; r 0 ];
+         ])
+  in
+  check_errno "attach to file" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_errno "detach unattached" (Some K.Errno.ENOENT) r.Exec.calls.(4);
+  check_ok "attach" r.Exec.calls.(5);
+  check_errno "double attach" (Some K.Errno.EBUSY) r.Exec.calls.(6);
+  check_ok "test run while attached" r.Exec.calls.(7);
+  check_ok "detach" r.Exec.calls.(8)
+
+let test_prog_test_run_paths () =
+  (* Attached and detached programs run through different paths. *)
+  let base = [ prog_load 4; call "socket$udp" [ i 2L; i 2L; i 17L ] ] in
+  let detached =
+    run (prog (base @ [ call "bpf$PROG_TEST_RUN" [ i 10L; r 0; buf 64; iv 64 ] ]))
+  in
+  let attached =
+    run
+      (prog
+         (base
+         @ [
+             call "bpf$PROG_ATTACH" [ i 8L; r 0; r 1; i 0L ];
+             call "bpf$PROG_TEST_RUN" [ i 10L; r 0; buf 64; iv 64 ];
+           ]))
+  in
+  check_ok "detached run" detached.Exec.calls.(2);
+  check_ok "attached run" attached.Exec.calls.(3);
+  Alcotest.(check bool) "attachment changes the path" false
+    (Exec.cov_equal detached.Exec.calls.(2).Exec.cov attached.Exec.calls.(3).Exec.cov)
+
+(* ---- inotify ---- *)
+
+let test_inotify_watch_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "inotify_init" [ i 0L ];
+           call "inotify_add_watch" [ r 0; s "/tmp/missing"; i 0x2L ];
+           call "inotify_add_watch" [ r 0; s "/etc/passwd"; i 0L ];
+           call "inotify_add_watch" [ r 0; s "/etc/passwd"; i 0x2L ];
+           call "inotify_rm_watch" [ r 0; r 3 ];
+           call "inotify_rm_watch" [ r 0; r 3 ];
+         ])
+  in
+  check_errno "missing path" (Some K.Errno.ENOENT) r.Exec.calls.(1);
+  check_errno "zero mask" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_ok "add" r.Exec.calls.(3);
+  check_ok "rm" r.Exec.calls.(4);
+  check_errno "double rm" (Some K.Errno.EINVAL) r.Exec.calls.(5)
+
+let test_inotify_sees_writes () =
+  let r =
+    run
+      (prog
+         [
+           call "inotify_init" [ i 0L ];
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "inotify_add_watch" [ r 0; s "/tmp/f0"; i 0x2L ];
+           call "read" [ r 0; buf 64; iv 64 ]; (* quiet *)
+           call "write" [ r 1; buf 32; iv 32 ];
+           call "read" [ r 0; buf 64; iv 64 ]; (* one IN_MODIFY *)
+           call "read" [ r 0; buf 64; iv 64 ]; (* quiet again *)
+         ])
+  in
+  check_errno "no events yet" (Some K.Errno.EAGAIN) r.Exec.calls.(3);
+  Alcotest.(check int64) "one event" 16L r.Exec.calls.(5).Exec.retval;
+  check_errno "snapshot refreshed" (Some K.Errno.EAGAIN) r.Exec.calls.(6)
+
+let test_inotify_sees_unlink () =
+  let r =
+    run
+      (prog
+         [
+           call "inotify_init" [ i 0L ];
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "inotify_add_watch" [ r 0; s "/tmp/f0"; i 0xfffL ];
+           call "unlink" [ s "/tmp/f0" ];
+           call "read" [ r 0; buf 64; iv 64 ];
+         ])
+  in
+  Alcotest.(check int64) "delete event" 16L r.Exec.calls.(4).Exec.retval
+
+let test_inotify_relation_learnable () =
+  (* write -> inotify-read is exactly the cross-subsystem influence
+     dynamic learning exists for: the same read covers different
+     branches with and without the intervening write. *)
+  let base =
+    [
+      call "inotify_init" [ i 0L ];
+      call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+      call "inotify_add_watch" [ r 0; s "/tmp/f0"; i 0x2L ];
+    ]
+  in
+  let quiet = run (prog (base @ [ call "read" [ r 0; buf 64; iv 64 ] ])) in
+  let active =
+    run
+      (prog
+         (base
+         @ [ call "write" [ r 1; buf 32; iv 32 ]; call "read" [ r 0; buf 64; iv 64 ] ]))
+  in
+  Alcotest.(check bool) "read path differs" false
+    (Exec.cov_equal quiet.Exec.calls.(3).Exec.cov active.Exec.calls.(4).Exec.cov)
+
+let suite =
+  [
+    case "bpf map lifecycle" test_map_lifecycle;
+    case "bpf map validation" test_map_validation;
+    case "bpf map freeze" test_map_freeze;
+    case "bpf verifier gate" test_prog_verifier;
+    case "bpf attach lifecycle" test_prog_attach_lifecycle;
+    case "bpf test-run paths" test_prog_test_run_paths;
+    case "inotify watch lifecycle" test_inotify_watch_lifecycle;
+    case "inotify sees writes" test_inotify_sees_writes;
+    case "inotify sees unlink" test_inotify_sees_unlink;
+    case "inotify relation learnable" test_inotify_relation_learnable;
+  ]

@@ -1,0 +1,256 @@
+(* The extended interface surface: positional IO, directories, rename,
+   flock and fcntl in vfs; socket options, accept4, sendmsg; KVM
+   register/NMI/TSS/dirty-log paths. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let sockaddr = group [ i 2L; i 80L; i 1L ]
+
+let test_pread_pwrite () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "pwrite" [ r 0; buf 100; iv 100; iv 50 ];
+           call "pread" [ r 0; buf 100; iv 100; iv 50 ];
+           call "pread" [ r 0; buf 100; iv 100; iv 500 ];
+           call "pread" [ r 0; buf 100; iv 100; iv (-1) ];
+           call "read" [ r 0; buf 10; iv 10 ];
+         ])
+  in
+  Alcotest.(check int64) "pwrite extends" 100L r.Exec.calls.(1).Exec.retval;
+  Alcotest.(check int64) "pread at offset" 100L r.Exec.calls.(2).Exec.retval;
+  Alcotest.(check int64) "pread past EOF" 0L r.Exec.calls.(3).Exec.retval;
+  check_errno "negative offset" (Some K.Errno.EINVAL) r.Exec.calls.(4);
+  (* pread/pwrite never moved the descriptor offset. *)
+  Alcotest.(check int64) "offset untouched" 10L r.Exec.calls.(5).Exec.retval
+
+let test_mkdir_rmdir () =
+  let r =
+    run
+      (prog
+         [
+           call "mkdir" [ s "/tmp/d0"; i 0x1ffL ];
+           call "mkdir" [ s "/tmp/d0"; i 0x1ffL ];
+           call "rmdir" [ s "/tmp/d0" ];
+           call "rmdir" [ s "/tmp/d0" ];
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "rmdir" [ s "/tmp/f0" ];
+         ])
+  in
+  check_ok "mkdir" r.Exec.calls.(0);
+  check_errno "mkdir exists" (Some K.Errno.EEXIST) r.Exec.calls.(1);
+  check_ok "rmdir" r.Exec.calls.(2);
+  check_errno "rmdir gone" (Some K.Errno.ENOENT) r.Exec.calls.(3);
+  Alcotest.(check bool) "rmdir on a file fails" true
+    (r.Exec.calls.(5).Exec.errno <> None)
+
+let test_rename_semantics () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "write" [ r 0; buf 77; iv 77 ];
+           call "rename" [ s "/tmp/f0"; s "/tmp/r0" ];
+           call "open" [ s "/tmp/f0"; i 0L; i 0L ];
+           call "open" [ s "/tmp/r0"; i 0L; i 0L ];
+           call "read" [ r 4; buf 100; iv 100 ];
+           call "rename" [ s "/tmp/nope"; s "/tmp/r0" ];
+         ])
+  in
+  check_ok "rename" r.Exec.calls.(2);
+  check_errno "old name gone" (Some K.Errno.ENOENT) r.Exec.calls.(3);
+  check_ok "new name opens" r.Exec.calls.(4);
+  Alcotest.(check int64) "data travelled" 77L r.Exec.calls.(5).Exec.retval;
+  check_errno "missing source" (Some K.Errno.ENOENT) r.Exec.calls.(6)
+
+let test_flock () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "open" [ s "/tmp/f0"; i 0L; i 0L ];
+           call "flock" [ r 0; i 2L ]; (* EX *)
+           call "flock" [ r 1; i 2L ]; (* EX conflicts *)
+           call "flock" [ r 1; i 1L ]; (* SH conflicts *)
+           call "flock" [ r 0; i 8L ]; (* UN *)
+           call "flock" [ r 1; i 1L ]; (* SH ok now *)
+           call "flock" [ r 0; iv 5 ];
+         ])
+  in
+  check_ok "exclusive" r.Exec.calls.(2);
+  check_errno "second exclusive" (Some K.Errno.EAGAIN) r.Exec.calls.(3);
+  check_errno "shared vs exclusive" (Some K.Errno.EAGAIN) r.Exec.calls.(4);
+  check_ok "unlock" r.Exec.calls.(5);
+  check_ok "shared" r.Exec.calls.(6);
+  check_errno "bad op" (Some K.Errno.EINVAL) r.Exec.calls.(7)
+
+let test_fcntl_fl () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 2L; i 0L ];
+           call "fcntl$GETFL" [ r 0; i 3L ];
+           call "fcntl$SETFL" [ r 0; i 4L; i 0x800L ];
+           call "fcntl$GETFL" [ r 0; i 3L ];
+         ])
+  in
+  Alcotest.(check int64) "initial flags" 2L r.Exec.calls.(1).Exec.retval;
+  (* SETFL keeps the access mode and applies the status bits. *)
+  Alcotest.(check int64) "after SETFL" 0x802L r.Exec.calls.(3).Exec.retval
+
+let test_sock_options () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "setsockopt$SO_RCVBUF" [ r 0; i 1L; i 8L; group [ iv 100 ] ];
+           call "setsockopt$SO_KEEPALIVE" [ r 0; i 1L; i 9L; group [ i 1L ] ];
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "setsockopt$SO_KEEPALIVE" [ r 3; i 1L; i 9L; group [ i 1L ] ];
+           call "getsockopt$SO_ERROR" [ r 0; i 1L; i 4L; group [ i 0L ] ];
+           call "ioctl$FIONREAD" [ r 0; i 0x541bL; group [ i 0L ] ];
+         ])
+  in
+  check_ok "rcvbuf" r.Exec.calls.(1);
+  check_ok "keepalive on tcp" r.Exec.calls.(2);
+  check_errno "keepalive on udp" (Some K.Errno.EOPNOTSUPP) r.Exec.calls.(4);
+  Alcotest.(check int64) "no pending error" 0L r.Exec.calls.(5).Exec.retval;
+  check_ok "fionread" r.Exec.calls.(6)
+
+let test_so_error_latching () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "connect" [ r 0; sockaddr ];
+           call "shutdown" [ r 0; i 1L ];
+           call "sendmsg"
+             [ r 0; group [ Value.Group [ Value.Group [ vma; i 16L ] ]; i 0L ];
+               i 0L ];
+           call "getsockopt$SO_ERROR" [ r 0; i 1L; i 4L; group [ i 0L ] ];
+           call "getsockopt$SO_ERROR" [ r 0; i 1L; i 4L; group [ i 0L ] ];
+         ])
+  in
+  check_errno "sendmsg after shutdown" (Some K.Errno.EPIPE) r.Exec.calls.(3);
+  Alcotest.(check int64) "error latched" (Int64.of_int (K.Errno.code K.Errno.EPIPE))
+    r.Exec.calls.(4).Exec.retval;
+  Alcotest.(check int64) "error cleared on read" 0L r.Exec.calls.(5).Exec.retval
+
+let test_accept4 () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "bind" [ r 0; sockaddr ];
+           call "listen" [ r 0; iv 4 ];
+           call "accept4" [ r 0; group [ i 0L; i 0L; i 0L ]; i 0x800L ];
+           call "accept4" [ r 0; group [ i 0L; i 0L; i 0L ]; i 0x123456L ];
+           call "sendto" [ r 3; buf 8; iv 8; i 0L; sockaddr ];
+         ])
+  in
+  check_ok "accept4 NONBLOCK" r.Exec.calls.(3);
+  check_errno "bad flags" (Some K.Errno.EINVAL) r.Exec.calls.(4);
+  check_ok "peer usable" r.Exec.calls.(5)
+
+let test_sendmsg_iovs () =
+  let msg n =
+    group
+      [ Value.Group (List.init n (fun _ -> Value.Group [ vma; i 16L ])); i 0L ]
+  in
+  let r =
+    run
+      (prog
+         [
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "sendmsg" [ r 0; msg 2; i 0L ];
+           call "sendmsg" [ r 0; msg 0; i 0L ];
+           call "sendmsg" [ r 0; Value.Null; i 0L ];
+         ])
+  in
+  Alcotest.(check int64) "two iovs" 32L r.Exec.calls.(1).Exec.retval;
+  check_errno "zero iovs" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_errno "null msg" (Some K.Errno.EFAULT) r.Exec.calls.(3)
+
+(* ---- KVM extensions ---- *)
+
+let kvm_prefix =
+  [
+    call "openat$kvm" [ i (-100L); s "/dev/kvm"; i 0L ];
+    call "ioctl$KVM_CREATE_VM" [ r 0; i 0xae01L ];
+    call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+  ]
+
+let test_kvm_regs_and_nmi () =
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_SET_REGS" [ r 2; i 0x4090ae82L; group [ i 0x200000L; i 0L; i 2L ] ];
+             call "ioctl$KVM_NMI" [ r 2; i 0xae9aL ];
+             call "ioctl$KVM_SET_USER_MEMORY_REGION"
+               [ r 1; i 0x4020ae46L; group [ i 0L; i 0L; i 0L; i 0x10000L; vma ] ];
+             call "ioctl$KVM_RUN" [ r 2; i 0xae80L ];
+             call "ioctl$KVM_GET_REGS" [ r 2; i 0x8090ae81L; group [ i 0L; i 0L; i 0L ] ];
+           ]))
+  in
+  check_ok "set regs" r.Exec.calls.(3);
+  check_ok "nmi" r.Exec.calls.(4);
+  check_ok "run consumes nmi + regs" r.Exec.calls.(6);
+  check_ok "get regs" r.Exec.calls.(7)
+
+let test_kvm_tss_addr () =
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_SET_TSS_ADDR" [ r 1; i 0xae47L; i 0x1234L ];
+             call "ioctl$KVM_SET_TSS_ADDR" [ r 1; i 0xae47L; i 0x10000L ];
+             call "ioctl$KVM_SET_TSS_ADDR" [ r 1; i 0xae47L; i 0x20000L ];
+           ]))
+  in
+  check_errno "unaligned" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_ok "set" r.Exec.calls.(4);
+  check_errno "already set" (Some K.Errno.EEXIST) r.Exec.calls.(5)
+
+let test_kvm_dirty_log () =
+  let region ~flags = group [ i 0L; i flags; i 0L; i 0x10000L; vma ] in
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_SET_USER_MEMORY_REGION" [ r 1; i 0x4020ae46L; region ~flags:1L ];
+             call "ioctl$KVM_GET_DIRTY_LOG" [ r 1; i 0x4010ae42L; group [ i 0L; i 0L; vma ] ];
+             call "ioctl$KVM_GET_DIRTY_LOG" [ r 1; i 0x4010ae42L; group [ i 7L; i 0L; vma ] ];
+           ]))
+  in
+  check_ok "dirty log on logged slot" r.Exec.calls.(4);
+  check_errno "unlogged slot" (Some K.Errno.ENOENT) r.Exec.calls.(5)
+
+let suite =
+  [
+    case "pread/pwrite" test_pread_pwrite;
+    case "mkdir/rmdir" test_mkdir_rmdir;
+    case "rename" test_rename_semantics;
+    case "flock" test_flock;
+    case "fcntl GETFL/SETFL" test_fcntl_fl;
+    case "socket options" test_sock_options;
+    case "SO_ERROR latching" test_so_error_latching;
+    case "accept4" test_accept4;
+    case "sendmsg iovs" test_sendmsg_iovs;
+    case "kvm regs + nmi" test_kvm_regs_and_nmi;
+    case "kvm tss addr" test_kvm_tss_addr;
+    case "kvm dirty log" test_kvm_dirty_log;
+  ]

@@ -1,0 +1,173 @@
+(* IPC subsystem: eventfd/timerfd semantics and SysV object
+   lifecycles. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let test_eventfd_counter () =
+  let r =
+    run
+      (prog
+         [
+           call "eventfd" [ i 0L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "write" [ r 0; buf 8; iv 8 ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "read" [ r 0; buf 4; iv 4 ];
+         ])
+  in
+  check_errno "empty counter" (Some K.Errno.EAGAIN) r.Exec.calls.(1);
+  check_ok "signal" r.Exec.calls.(2);
+  check_ok "consume" r.Exec.calls.(3);
+  check_errno "consumed" (Some K.Errno.EAGAIN) r.Exec.calls.(4);
+  check_errno "short read" (Some K.Errno.EINVAL) r.Exec.calls.(5)
+
+let test_eventfd_initval () =
+  let r =
+    run (prog [ call "eventfd" [ iv 3 ]; call "read" [ r 0; buf 8; iv 8 ] ])
+  in
+  check_ok "initval readable" r.Exec.calls.(1)
+
+let test_timerfd () =
+  let spec v = group [ i v; i v ] in
+  let r =
+    run
+      (prog
+         [
+           call "timerfd_create" [ i 1L; i 0L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "timerfd_settime" [ r 0; i 0L; spec 100L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "timerfd_settime" [ r 0; i 0L; spec 0L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "timerfd_create" [ iv 99; i 0L ];
+         ])
+  in
+  check_errno "unarmed" (Some K.Errno.EAGAIN) r.Exec.calls.(1);
+  check_ok "armed read" r.Exec.calls.(3);
+  check_errno "disarmed" (Some K.Errno.EAGAIN) r.Exec.calls.(5);
+  check_errno "bad clock" (Some K.Errno.EINVAL) r.Exec.calls.(6)
+
+let test_shm_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "shmget" [ i 1L; iv 4096; i 0L ];
+           call "shmat" [ r 0; vma; i 0L ];
+           call "shmdt" [ r 0 ];
+           call "shmdt" [ r 0 ];
+           call "shmctl$IPC_RMID" [ r 0; i 0L ];
+           call "shmat" [ r 0; vma; i 0L ];
+         ])
+  in
+  check_ok "attach" r.Exec.calls.(1);
+  check_ok "detach" r.Exec.calls.(2);
+  check_errno "detach when unattached" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_ok "rmid" r.Exec.calls.(4);
+  check_errno "attach after destroy" (Some K.Errno.EINVAL) r.Exec.calls.(5)
+
+let test_shm_deferred_destroy () =
+  let r =
+    run
+      (prog
+         [
+           call "shmget" [ i 1L; iv 4096; i 0L ];
+           call "shmat" [ r 0; vma; i 0L ];
+           call "shmctl$IPC_RMID" [ r 0; i 0L ];
+           call "shmat" [ r 0; vma; i 0L ]; (* pending: new attach refused *)
+           call "shmdt" [ r 0 ]; (* last detach completes destruction *)
+           call "shmdt" [ r 0 ];
+         ])
+  in
+  check_ok "rmid while attached" r.Exec.calls.(2);
+  check_errno "attach while pending" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_ok "final detach" r.Exec.calls.(4);
+  check_errno "object gone" (Some K.Errno.EINVAL) r.Exec.calls.(5)
+
+let test_shmget_validation () =
+  let r =
+    run (prog [ call "shmget" [ i 1L; i 0L; i 0L ] ])
+  in
+  check_errno "zero size" (Some K.Errno.EINVAL) r.Exec.calls.(0)
+
+let test_sem_counters () =
+  let op num delta = group [ iv num; iv delta; i 0L ] in
+  let r =
+    run
+      (prog
+         [
+           call "semget" [ i 1L; iv 2; i 0L ];
+           call "semop" [ r 0; op 0 1; i 1L ];
+           call "semop" [ r 0; op 0 (-1); i 1L ];
+           call "semop" [ r 0; op 0 (-1); i 1L ]; (* would block *)
+           call "semop" [ r 0; op 5 1; i 1L ]; (* index out of range *)
+           call "semctl$IPC_RMID" [ r 0; i 0L; i 0L ];
+           call "semop" [ r 0; op 0 1; i 1L ];
+         ])
+  in
+  check_ok "up" r.Exec.calls.(1);
+  check_ok "down" r.Exec.calls.(2);
+  check_errno "would block" (Some K.Errno.EAGAIN) r.Exec.calls.(3);
+  check_errno "bad index" (Some K.Errno.EINVAL) r.Exec.calls.(4);
+  check_errno "after rmid" (Some K.Errno.EINVAL) r.Exec.calls.(6)
+
+let test_msgq_flow () =
+  let r =
+    run
+      (prog
+         [
+           call "msgget" [ i 1L; i 0L ];
+           call "msgrcv" [ r 0; buf 16; iv 16; i 0L; i 0L ];
+           call "msgsnd" [ r 0; buf 16; iv 16; i 0L ];
+           call "msgsnd" [ r 0; buf 0; i 0L; i 0L ];
+           call "msgrcv" [ r 0; buf 16; iv 16; i 0L; i 0L ];
+           call "msgctl$IPC_RMID" [ r 0; i 0L ];
+           call "msgsnd" [ r 0; buf 16; iv 16; i 0L ];
+         ])
+  in
+  check_errno "empty queue" (Some K.Errno.EAGAIN) r.Exec.calls.(1);
+  check_ok "send" r.Exec.calls.(2);
+  check_errno "empty message" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_ok "receive" r.Exec.calls.(4);
+  check_errno "after rmid" (Some K.Errno.EINVAL) r.Exec.calls.(6)
+
+let test_ids_are_not_fds () =
+  (* A shm id is not an fd: read on it fails with EBADF, and the id
+     space is separate from the descriptor numbers. *)
+  let r =
+    run
+      (prog
+         [
+           call "shmget" [ i 1L; iv 4096; i 0L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+         ])
+  in
+  check_errno "not a descriptor" (Some K.Errno.EBADF) r.Exec.calls.(1)
+
+let test_static_relations_cover_ipc () =
+  let target = tgt () in
+  let table = Healer_core.Static_learning.initial_table target in
+  let id name = (Healer_syzlang.Target.find_exn target name).Healer_syzlang.Syscall.id in
+  Alcotest.(check bool) "shmget -> shmat" true
+    (Healer_core.Relation_table.get table (id "shmget") (id "shmat"));
+  Alcotest.(check bool) "semget -> semop" true
+    (Healer_core.Relation_table.get table (id "semget") (id "semop"));
+  Alcotest.(check bool) "msgget -> msgrcv" true
+    (Healer_core.Relation_table.get table (id "msgget") (id "msgrcv"))
+
+let suite =
+  [
+    case "eventfd counter" test_eventfd_counter;
+    case "eventfd initval" test_eventfd_initval;
+    case "timerfd arm/disarm" test_timerfd;
+    case "shm lifecycle" test_shm_lifecycle;
+    case "shm deferred destroy" test_shm_deferred_destroy;
+    case "shmget validation" test_shmget_validation;
+    case "sem counters" test_sem_counters;
+    case "msgq flow" test_msgq_flow;
+    case "ids are not fds" test_ids_are_not_fds;
+    case "static relations cover ipc" test_static_relations_cover_ipc;
+  ]

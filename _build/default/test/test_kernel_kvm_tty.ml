@@ -1,0 +1,266 @@
+(* KVM chain semantics (the paper's Section 3 deep-state example) and
+   the TTY/console state machine. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let kvm_prefix =
+  [
+    call "openat$kvm" [ i (-100L); s "/dev/kvm"; i 0L ];
+    call "ioctl$KVM_CREATE_VM" [ r 0; i 0xae01L ];
+  ]
+
+let region ~slot ~gpa ~size =
+  group [ iv slot; i 0L; i gpa; i size; vma ]
+
+let test_kvm_wrong_path () =
+  let r = run (prog [ call "openat$kvm" [ i (-100L); s "/dev/null"; i 0L ] ]) in
+  check_errno "wrong device path" (Some K.Errno.ENOENT) r.Exec.calls.(0)
+
+let test_kvm_chain_stagewise () =
+  (* Every stage needs the previous stage's resource: the structure
+     that makes random sequences exit early (Section 3). *)
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_CREATE_VCPU" [ r 0; i 0xae41L; i 0L ]; (* on sys fd *)
+             call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+             call "ioctl$KVM_RUN" [ r 1; i 0xae80L ]; (* on vm fd *)
+             call "ioctl$KVM_RUN" [ r 3; i 0xae80L ];
+           ]))
+  in
+  check_errno "vcpu on sys fd" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_ok "vcpu on vm fd" r.Exec.calls.(3);
+  check_errno "run on vm fd" (Some K.Errno.EINVAL) r.Exec.calls.(4);
+  (* RUN with no memory exits early. *)
+  check_errno "run without memslots" (Some K.Errno.EFAULT) r.Exec.calls.(5)
+
+let test_kvm_run_with_memory () =
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+             call "ioctl$KVM_SET_USER_MEMORY_REGION"
+               [ r 1; i 0x4020ae46L; region ~slot:0 ~gpa:0L ~size:0x10000L ];
+             call "ioctl$KVM_RUN" [ r 2; i 0xae80L ];
+           ]))
+  in
+  check_ok "run with a slot at gpa 0" r.Exec.calls.(4)
+
+let test_kvm_memslot_delete () =
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+             call "ioctl$KVM_SET_USER_MEMORY_REGION"
+               [ r 1; i 0x4020ae46L; region ~slot:0 ~gpa:0L ~size:0x10000L ];
+             call "ioctl$KVM_SET_USER_MEMORY_REGION"
+               [ r 1; i 0x4020ae46L; region ~slot:0 ~gpa:0L ~size:0L ];
+             call "ioctl$KVM_RUN" [ r 2; i 0xae80L ];
+           ]))
+  in
+  check_ok "size 0 deletes" r.Exec.calls.(4);
+  check_errno "run after slot deleted" (Some K.Errno.EFAULT) r.Exec.calls.(5)
+
+let test_kvm_vcpu_limits () =
+  let mk_vcpu id = call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; iv id ] in
+  let r =
+    run (prog (kvm_prefix @ [ mk_vcpu 9; mk_vcpu 0; mk_vcpu 1; mk_vcpu 2; mk_vcpu 3; mk_vcpu 4 ]))
+  in
+  check_errno "id out of range" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_ok "vcpu 0" r.Exec.calls.(3);
+  check_errno "too many vcpus" (Some K.Errno.ENOMEM) r.Exec.calls.(7)
+
+let test_kvm_irqchip () =
+  let r =
+    run
+      (prog
+         (kvm_prefix
+         @ [
+             call "ioctl$KVM_IRQ_LINE" [ r 1; i 0x4008ae61L; group [ i 3L; i 1L ] ];
+             call "ioctl$KVM_CREATE_IRQCHIP" [ r 1; i 0xae60L ];
+             call "ioctl$KVM_CREATE_IRQCHIP" [ r 1; i 0xae60L ];
+             call "ioctl$KVM_IRQ_LINE" [ r 1; i 0x4008ae61L; group [ i 3L; i 1L ] ];
+           ]))
+  in
+  check_errno "irq without chip" (Some K.Errno.ENXIO) r.Exec.calls.(2);
+  check_ok "create chip" r.Exec.calls.(3);
+  check_errno "second chip" (Some K.Errno.EEXIST) r.Exec.calls.(4);
+  check_ok "irq line" r.Exec.calls.(5)
+
+let test_kvm_run_covers_assembled_state () =
+  (* The same RUN covers different branches depending on the assembled
+     VM configuration — what makes the chain worth learning. *)
+  let bare =
+    prog
+      (kvm_prefix
+      @ [
+          call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+          call "ioctl$KVM_SET_USER_MEMORY_REGION"
+            [ r 1; i 0x4020ae46L; region ~slot:0 ~gpa:0L ~size:0x10000L ];
+          call "ioctl$KVM_RUN" [ r 2; i 0xae80L ];
+        ])
+  in
+  let configured =
+    prog
+      (kvm_prefix
+      @ [
+          call "ioctl$KVM_CREATE_VCPU" [ r 1; i 0xae41L; i 0L ];
+          call "ioctl$KVM_SET_USER_MEMORY_REGION"
+            [ r 1; i 0x4020ae46L; region ~slot:0 ~gpa:0L ~size:0x10000L ];
+          call "ioctl$KVM_CREATE_IRQCHIP" [ r 1; i 0xae60L ];
+          call "ioctl$KVM_SMI" [ r 2; i 0xaeb7L ];
+          call "ioctl$KVM_RUN" [ r 2; i 0xae80L ];
+        ])
+  in
+  let a = run bare and b = run configured in
+  check_ok "bare run" a.Exec.calls.(4);
+  check_ok "configured run" b.Exec.calls.(6);
+  Alcotest.(check bool) "distinct run paths" false
+    (Exec.cov_equal a.Exec.calls.(4).Exec.cov b.Exec.calls.(6).Exec.cov)
+
+(* ---- TTY ---- *)
+
+let test_tty_ldisc_roundtrip () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$ptmx" [ i (-100L); s "/dev/ptmx"; i 0L ];
+           call "ioctl$TIOCGETD" [ r 0; i 0x5424L; group [ i 0L ] ];
+           call "ioctl$TIOCSETD" [ r 0; i 0x5423L; ptr (i 2L) ];
+           call "ioctl$TIOCGETD" [ r 0; i 0x5424L; group [ i 0L ] ];
+           call "ioctl$TIOCSETD" [ r 0; i 0x5423L; ptr (i 99L) ];
+         ])
+  in
+  Alcotest.(check int64) "default N_TTY" 0L r.Exec.calls.(1).Exec.retval;
+  Alcotest.(check int64) "after set" 2L r.Exec.calls.(3).Exec.retval;
+  check_errno "out of range" (Some K.Errno.EINVAL) r.Exec.calls.(4)
+
+let test_gsm_config_needs_ldisc () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$ptmx" [ i (-100L); s "/dev/ptmx"; i 0L ];
+           call "ioctl$GSMIOC_SETCONF" [ r 0; i 0x40204701L; group [ i 1L; i 0L; iv 64; iv 64 ] ];
+           call "ioctl$TIOCSETD" [ r 0; i 0x5423L; ptr (i 21L) ];
+           call "ioctl$GSMIOC_SETCONF" [ r 0; i 0x40204701L; group [ i 1L; i 0L; iv 64; iv 64 ] ];
+         ])
+  in
+  check_errno "config before N_GSM" (Some K.Errno.EOPNOTSUPP) r.Exec.calls.(1);
+  check_ok "config after N_GSM" r.Exec.calls.(3)
+
+let test_ptmx_gsm_write_gate () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$ptmx" [ i (-100L); s "/dev/ptmx"; i 0L ];
+           call "ioctl$TIOCSETD" [ r 0; i 0x5423L; ptr (i 21L) ];
+           call "write" [ r 0; buf 8; iv 8 ];
+           call "ioctl$GSMIOC_SETCONF" [ r 0; i 0x40204701L; group [ i 1L; i 0L; iv 64; iv 64 ] ];
+           call "write" [ r 0; buf 8; iv 8 ];
+         ])
+  in
+  check_errno "write before mux config" (Some K.Errno.EAGAIN) r.Exec.calls.(2);
+  check_ok "write after config" r.Exec.calls.(4)
+
+let test_tiocsti_feeds_read () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$ptmx" [ i (-100L); s "/dev/ptmx"; i 0L ];
+           call "read" [ r 0; buf 8; iv 8 ];
+           call "ioctl$TIOCSTI" [ r 0; i 0x5412L; ptr (i 65L) ];
+           call "read" [ r 0; buf 8; iv 8 ];
+         ])
+  in
+  check_errno "nothing to read" (Some K.Errno.EAGAIN) r.Exec.calls.(1);
+  Alcotest.(check int64) "injected byte readable" 1L r.Exec.calls.(3).Exec.retval
+
+let test_vcs_screen_window () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$vcs" [ i (-100L); s "/dev/vcs"; i 0L ];
+           call "read" [ r 0; buf 16; iv 16 ];
+           call "ioctl$VT_ACTIVATE" [ r 0; i 0x5606L; i 3L ];
+           call "read" [ r 0; buf 16; iv 16 ];
+           call "ioctl$VT_ACTIVATE" [ r 0; i 0x5606L; iv 99 ];
+         ])
+  in
+  Alcotest.(check int64) "screen read" 16L r.Exec.calls.(1).Exec.retval;
+  check_ok "vt switch" r.Exec.calls.(2);
+  check_ok "read after switch" r.Exec.calls.(3);
+  check_errno "bad vt" (Some K.Errno.ENXIO) r.Exec.calls.(4)
+
+let test_vt_disallocate_blocks_writes () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$vcs" [ i (-100L); s "/dev/vcs"; i 0L ];
+           call "ioctl$VT_DISALLOCATE" [ r 0; i 0x5608L; i 1L ];
+           call "write" [ r 0; buf 8; iv 8 ];
+         ])
+  in
+  check_errno "write to freed console" (Some K.Errno.ENXIO) r.Exec.calls.(2)
+
+let test_syslog_counters () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$ptmx" [ i (-100L); s "/dev/ptmx"; i 0L ];
+           call "write" [ r 0; buf 4; iv 4 ];
+           call "write" [ r 0; buf 4; iv 4 ];
+           call "syslog" [ i 9L; buf 0; iv 0 ];
+           call "syslog" [ i 5L; buf 0; iv 0 ];
+           call "syslog" [ i 9L; buf 0; iv 0 ];
+           call "syslog" [ iv 99; buf 0; iv 0 ];
+         ])
+  in
+  Alcotest.(check int64) "unread count" 2L r.Exec.calls.(3).Exec.retval;
+  check_ok "clear" r.Exec.calls.(4);
+  Alcotest.(check int64) "cleared" 0L r.Exec.calls.(5).Exec.retval;
+  check_errno "bad action" (Some K.Errno.EINVAL) r.Exec.calls.(6)
+
+let test_tty_ioctl_on_non_tty () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "ioctl$TIOCSETD" [ r 0; i 0x5423L; ptr (i 0L) ];
+         ])
+  in
+  check_errno "ENOTTY" (Some K.Errno.ENOTTY) r.Exec.calls.(1)
+
+let suite =
+  [
+    case "kvm wrong path" test_kvm_wrong_path;
+    case "kvm chain stagewise" test_kvm_chain_stagewise;
+    case "kvm run with memory" test_kvm_run_with_memory;
+    case "kvm memslot delete" test_kvm_memslot_delete;
+    case "kvm vcpu limits" test_kvm_vcpu_limits;
+    case "kvm irqchip" test_kvm_irqchip;
+    case "kvm run covers assembled state" test_kvm_run_covers_assembled_state;
+    case "tty ldisc roundtrip" test_tty_ldisc_roundtrip;
+    case "gsm config needs ldisc" test_gsm_config_needs_ldisc;
+    case "ptmx gsm write gate" test_ptmx_gsm_write_gate;
+    case "TIOCSTI feeds read" test_tiocsti_feeds_read;
+    case "vcs screen window" test_vcs_screen_window;
+    case "vt disallocate blocks writes" test_vt_disallocate_blocks_writes;
+    case "syslog counters" test_syslog_counters;
+    case "tty ioctl on non-tty" test_tty_ioctl_on_non_tty;
+  ]

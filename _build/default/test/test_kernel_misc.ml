@@ -1,0 +1,374 @@
+(* Remaining subsystems: framebuffer, rdma, io_uring, block, journal,
+   mounts, vivid, usb, compat. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let fb0 = call "openat$fb0" [ i (-100L); s "/dev/fb0"; i 0L ]
+
+let test_fb_geometry () =
+  let r =
+    run
+      (prog
+         [
+           fb0;
+           call "ioctl$FBIOGET_VSCREENINFO" [ r 0; i 0x4600L; group [ i 0L; i 0L; i 0L; i 0L ] ];
+           call "ioctl$FBIOPUT_VSCREENINFO"
+             [ r 0; i 0x4601L; group [ i 1280L; i 1024L; i 32L; i 39721L ] ];
+           call "ioctl$FBIOPUT_VSCREENINFO"
+             [ r 0; i 0x4601L; group [ i 1280L; i 1024L; i 0L; i 39721L ] ];
+           call "ioctl$FBIOPUT_VSCREENINFO" [ r 0; i 0x4601L; Value.Null ];
+         ])
+  in
+  check_ok "get" r.Exec.calls.(1);
+  check_ok "put valid" r.Exec.calls.(2);
+  check_errno "zero bpp" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_errno "null var" (Some K.Errno.EFAULT) r.Exec.calls.(4)
+
+let test_fb_font_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           fb0;
+           call "ioctl$KDFONTOP_GET" [ r 0; i 0x4b72L; group [ i 1L; i 0L; i 0L; buf 0 ] ];
+           call "ioctl$KDFONTOP_SET" [ r 0; i 0x4b72L; group [ i 0L; i 16L; i 8L; buf 256 ] ];
+           call "ioctl$KDFONTOP_GET" [ r 0; i 0x4b72L; group [ i 1L; i 0L; i 0L; buf 0 ] ];
+           call "ioctl$KDFONTOP_SET" [ r 0; i 0x4b72L; group [ i 0L; i 99L; i 8L; buf 256 ] ];
+         ])
+  in
+  check_errno "get without font" (Some K.Errno.ENODEV) r.Exec.calls.(1);
+  check_ok "set" r.Exec.calls.(2);
+  check_ok "get after set" r.Exec.calls.(3);
+  check_errno "height out of range" (Some K.Errno.EINVAL) r.Exec.calls.(4)
+
+let test_fb_write_sizes () =
+  let small =
+    run (prog [ fb0; call "write" [ r 0; buf 64; iv 64 ] ])
+  in
+  let large =
+    run (prog [ fb0; call "write" [ r 0; buf 8192; iv 8192 ] ])
+  in
+  check_ok "small blit" small.Exec.calls.(1);
+  check_ok "large blit" large.Exec.calls.(1);
+  Alcotest.(check bool) "size-dependent path" false
+    (Exec.cov_equal small.Exec.calls.(1).Exec.cov large.Exec.calls.(1).Exec.cov)
+
+(* ---- rdma ---- *)
+
+let rdma_open = call "openat$rdma_cm" [ i (-100L); s "/dev/infiniband/rdma_cm"; i 0L ]
+let sockaddr = group [ i 2L; i 80L; i 1L ]
+
+let test_rdma_id_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           rdma_open;
+           call "ioctl$RDMA_LISTEN" [ r 0; i 0xc0184603L; Value.Res_special 77L; iv 4 ];
+           call "ioctl$RDMA_CREATE_ID" [ r 0; i 0xc0184600L; i 0L ];
+           call "ioctl$RDMA_LISTEN" [ r 0; i 0xc0184603L; r 2; iv 4 ];
+           call "ioctl$RDMA_BIND_ADDR" [ r 0; i 0xc0184601L; r 2; sockaddr ];
+           call "ioctl$RDMA_LISTEN" [ r 0; i 0xc0184603L; r 2; iv 4 ];
+           call "ioctl$RDMA_DESTROY_ID" [ r 0; i 0xc0184605L; r 2 ];
+           call "ioctl$RDMA_DESTROY_ID" [ r 0; i 0xc0184605L; r 2 ];
+         ])
+  in
+  check_errno "unknown id" (Some K.Errno.ENOENT) r.Exec.calls.(1);
+  check_errno "listen before bind" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_ok "bind" r.Exec.calls.(4);
+  check_ok "listen" r.Exec.calls.(5);
+  check_ok "destroy" r.Exec.calls.(6);
+  check_errno "double destroy" (Some K.Errno.ENOENT) r.Exec.calls.(7)
+
+let test_rdma_connect_needs_resolve () =
+  let r =
+    run
+      (prog
+         [
+           rdma_open;
+           call "ioctl$RDMA_CREATE_ID" [ r 0; i 0xc0184600L; i 0L ];
+           call "ioctl$RDMA_CONNECT" [ r 0; i 0xc0184604L; r 1 ];
+           call "ioctl$RDMA_RESOLVE_ADDR" [ r 0; i 0xc0184602L; r 1; sockaddr ];
+           call "ioctl$RDMA_CONNECT" [ r 0; i 0xc0184604L; r 1 ];
+         ])
+  in
+  check_errno "connect before resolve" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_ok "connect after resolve" r.Exec.calls.(4)
+
+(* ---- io_uring ---- *)
+
+let uring_setup = call "io_uring_setup" [ iv 64; group [ iv 64; iv 64; i 0L ] ]
+
+let test_uring_setup_validation () =
+  let r =
+    run
+      (prog
+         [
+           call "io_uring_setup" [ i 0L; group [ i 0L; i 0L; i 0L ] ];
+           call "io_uring_setup" [ iv 100000; group [ i 0L; i 0L; i 0L ] ];
+           uring_setup;
+         ])
+  in
+  check_errno "zero entries" (Some K.Errno.EINVAL) r.Exec.calls.(0);
+  check_errno "too many" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "valid" r.Exec.calls.(2)
+
+let test_uring_buffers () =
+  let iov = ptr (Value.Group [ Value.Group [ vma; i 4096L ] ]) in
+  let r =
+    run
+      (prog
+         [
+           uring_setup;
+           call "io_uring_register$UNREGISTER_BUFFERS" [ r 0; i 1L; ptr (i 0L); i 0L ];
+           call "io_uring_register$BUFFERS" [ r 0; i 0L; iov; iv 1 ];
+           call "io_uring_register$BUFFERS" [ r 0; i 0L; iov; iv 1 ];
+           call "io_uring_register$UNREGISTER_BUFFERS" [ r 0; i 1L; ptr (i 0L); i 0L ];
+         ])
+  in
+  check_errno "unregister with none" (Some K.Errno.ENXIO) r.Exec.calls.(1);
+  check_ok "register" r.Exec.calls.(2);
+  check_errno "double register" (Some K.Errno.EBUSY) r.Exec.calls.(3);
+  check_ok "unregister" r.Exec.calls.(4)
+
+let test_uring_enter_caps_submit () =
+  let r =
+    run
+      (prog
+         [
+           call "io_uring_setup" [ iv 8; group [ iv 8; iv 8; i 0L ] ];
+           call "io_uring_enter" [ r 0; iv 100; i 0L; i 0L ];
+           call "io_uring_enter" [ r 0; iv (-1); i 0L; i 0L ];
+         ])
+  in
+  Alcotest.(check int64) "capped at ring size" 8L r.Exec.calls.(1).Exec.retval;
+  check_errno "negative submit" (Some K.Errno.EINVAL) r.Exec.calls.(2)
+
+(* ---- block ---- *)
+
+let test_nbd_state_machine () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$nbd" [ i (-100L); s "/dev/nbd0"; i 0L ];
+           call "ioctl$NBD_DO_IT" [ r 0; i 0xab03L ];
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "ioctl$NBD_SET_SOCK" [ r 0; i 0xab00L; r 2 ];
+           call "ioctl$NBD_DO_IT" [ r 0; i 0xab03L ];
+           call "ioctl$NBD_DO_IT" [ r 0; i 0xab03L ];
+         ])
+  in
+  check_errno "do_it without socket" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "set sock" r.Exec.calls.(3);
+  check_ok "do_it" r.Exec.calls.(4);
+  check_errno "do_it while running" (Some K.Errno.EBUSY) r.Exec.calls.(5)
+
+let test_nbd_set_sock_validation () =
+  let r =
+    run
+      (prog
+         [
+           call "openat$nbd" [ i (-100L); s "/dev/nbd0"; i 0L ];
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "ioctl$NBD_SET_SOCK" [ r 0; i 0xab00L; r 1 ];
+         ])
+  in
+  check_errno "backing fd must be a socket" (Some K.Errno.EINVAL) r.Exec.calls.(2)
+
+let test_loop_partitions () =
+  let part n = group [ iv n; i 0L; i 0L ] in
+  let r =
+    run
+      (prog
+         [
+           call "openat$loop" [ i (-100L); s "/dev/loop0"; i 0L ];
+           call "ioctl$BLKRRPART" [ r 0; i 0x125fL ];
+           call "open" [ s "/tmp/f0"; i 0x40L; i 0x1ffL ];
+           call "ioctl$LOOP_SET_FD" [ r 0; i 0x4c00L; r 2 ];
+           call "ioctl$LOOP_SET_FD" [ r 0; i 0x4c00L; r 2 ];
+           call "ioctl$BLKPG_ADD" [ r 0; i 0x1269L; part 1 ];
+           call "ioctl$BLKPG_ADD" [ r 0; i 0x1269L; part 1 ];
+           call "ioctl$BLKPG_ADD" [ r 0; i 0x1269L; part 99 ];
+           call "ioctl$LOOP_CLR_FD" [ r 0; i 0x4c01L ];
+           call "ioctl$LOOP_CLR_FD" [ r 0; i 0x4c01L ];
+         ])
+  in
+  check_errno "rrpart without backing" (Some K.Errno.ENXIO) r.Exec.calls.(1);
+  check_ok "set fd" r.Exec.calls.(3);
+  check_errno "set fd twice" (Some K.Errno.EBUSY) r.Exec.calls.(4);
+  check_ok "add part" r.Exec.calls.(5);
+  check_errno "duplicate part" (Some K.Errno.EBUSY) r.Exec.calls.(6);
+  check_errno "part number range" (Some K.Errno.EINVAL) r.Exec.calls.(7);
+  check_ok "clear" r.Exec.calls.(8);
+  check_errno "double clear" (Some K.Errno.ENXIO) r.Exec.calls.(9)
+
+(* ---- ext4/jbd2 and mounts ---- *)
+
+let test_ext4_paths () =
+  let r =
+    run
+      (prog
+         [
+           call "open$ext4" [ s "/etc/passwd"; i 0x40L; i 0x1ffL ];
+           call "open$ext4" [ s "/mnt/ext4/f0"; i 0x40L; i 0x1ffL ];
+           call "write" [ r 1; buf 128; iv 128 ];
+           call "fsync$ext4" [ r 1 ];
+           call "fchmod$ext4" [ Value.Res_special 1L; iv 420 ];
+         ])
+  in
+  check_errno "not on the ext4 mount" (Some K.Errno.ENOENT) r.Exec.calls.(0);
+  check_ok "journaled write" r.Exec.calls.(2);
+  check_ok "commit" r.Exec.calls.(3);
+  check_errno "fchmod on bad fd" (Some K.Errno.EBADF) r.Exec.calls.(4)
+
+let test_mount_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "mount$ext4" [ s "/dev/loop0"; s "/mnt/a"; s "ext4"; i 0L; ptr (i 0L) ];
+           call "mount$ext4" [ s "/dev/loop0"; s "/mnt/a"; s "ext4"; i 0L; ptr (i 0L) ];
+           call "mount$ext4" [ s "/dev/loop0"; s "/bogus"; s "ext4"; i 0L; ptr (i 0L) ];
+           call "umount" [ s "/mnt/a" ];
+         ])
+  in
+  check_ok "mount" r.Exec.calls.(0);
+  check_errno "busy mountpoint" (Some K.Errno.EBUSY) r.Exec.calls.(1);
+  check_errno "bad mountpoint" (Some K.Errno.ENOENT) r.Exec.calls.(2);
+  check_ok "umount" r.Exec.calls.(3)
+
+let test_mount_nfs_versions () =
+  let data v namlen = group [ i v; i namlen; buf 8 ] in
+  let r =
+    run
+      (prog
+         [
+           call "mount$nfs" [ s "10.0.0.1:/export"; s "/mnt/a"; data 1L 16L ];
+           call "mount$nfs" [ s "10.0.0.1:/export"; s "/mnt/a"; data 4L 16L ];
+         ])
+  in
+  check_errno "nfs v1 rejected" (Some K.Errno.EINVAL) r.Exec.calls.(0);
+  check_ok "nfs v4" r.Exec.calls.(1)
+
+(* ---- vivid ---- *)
+
+let vivid_open = call "openat$vivid" [ i (-100L); s "/dev/video0"; i 0L ]
+let fmt_640 = group [ iv 640; iv 480; i 0L ]
+
+let test_vivid_streaming () =
+  let r =
+    run
+      (prog
+         [
+           vivid_open;
+           call "ioctl$VIDIOC_STREAMON" [ r 0; i 0x40045612L ];
+           call "ioctl$VIDIOC_S_FMT" [ r 0; i 0xc0d05605L; fmt_640 ];
+           call "ioctl$VIDIOC_STREAMON" [ r 0; i 0x40045612L ];
+           call "ioctl$VIDIOC_STREAMON" [ r 0; i 0x40045612L ];
+           call "ioctl$VIDIOC_STREAMOFF" [ r 0; i 0x40045613L ];
+           call "ioctl$VIDIOC_STREAMOFF" [ r 0; i 0x40045613L ];
+         ])
+  in
+  check_errno "stream before fmt" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "stream on" r.Exec.calls.(3);
+  check_errno "double on" (Some K.Errno.EBUSY) r.Exec.calls.(4);
+  check_ok "stream off" r.Exec.calls.(5);
+  check_errno "double off" (Some K.Errno.EINVAL) r.Exec.calls.(6)
+
+let test_vivid_fmt_validation () =
+  let r =
+    run
+      (prog
+         [
+           vivid_open;
+           call "ioctl$VIDIOC_S_FMT" [ r 0; i 0xc0d05605L; group [ i 0L; iv 480; i 0L ] ];
+           call "ioctl$VIDIOC_REQBUFS" [ r 0; i 0xc0145608L; iv 99 ];
+         ])
+  in
+  check_errno "zero width" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_errno "too many buffers" (Some K.Errno.EINVAL) r.Exec.calls.(2)
+
+(* ---- usb (feature gated) ---- *)
+
+let test_usb_lifecycle_with_feature () =
+  let r =
+    run ~features:[ "usb" ]
+      (prog
+         [
+           call "syz_usb_connect" [ buf 4 ];
+           call "syz_usb_connect" [ buf 18 ];
+           call "syz_usb_disconnect" [ r 1 ];
+           call "syz_usb_disconnect" [ r 1 ];
+         ])
+  in
+  check_errno "short descriptor" (Some K.Errno.EINVAL) r.Exec.calls.(0);
+  check_ok "connect" r.Exec.calls.(1);
+  check_ok "disconnect" r.Exec.calls.(2);
+  check_errno "double disconnect" (Some K.Errno.ENODEV) r.Exec.calls.(3)
+
+(* ---- compat long tail ---- *)
+
+let test_compat_calls () =
+  let r =
+    run
+      (prog
+         [
+           call "prctl$PR_SET_NAME" [ iv 4; i 0L ];
+           call "prctl$PR_SET_NAME" [ iv (-4); i 0L ];
+           call "clock_gettime$MONOTONIC" [ i 0L; i 0L ];
+         ])
+  in
+  check_ok "ok args" r.Exec.calls.(0);
+  check_errno "negative arg" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "clock" r.Exec.calls.(2)
+
+let test_compat_is_isolated () =
+  (* Compat calls have no resources, so they never gain relations and
+     never influence any state: running one between two stateful calls
+     does not change the second call's coverage. *)
+  let without =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "bind" [ r 0; sockaddr ];
+         ])
+  in
+  let with_noise =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "umask$SET" [ iv 18; i 0L ];
+           call "bind" [ r 0; sockaddr ];
+         ])
+  in
+  Alcotest.(check bool) "bind coverage unaffected" true
+    (Exec.cov_equal without.Exec.calls.(1).Exec.cov
+       with_noise.Exec.calls.(2).Exec.cov)
+
+let suite =
+  [
+    case "fb geometry" test_fb_geometry;
+    case "fb font lifecycle" test_fb_font_lifecycle;
+    case "fb write sizes" test_fb_write_sizes;
+    case "rdma id lifecycle" test_rdma_id_lifecycle;
+    case "rdma connect needs resolve" test_rdma_connect_needs_resolve;
+    case "uring setup validation" test_uring_setup_validation;
+    case "uring buffers" test_uring_buffers;
+    case "uring enter caps" test_uring_enter_caps_submit;
+    case "nbd state machine" test_nbd_state_machine;
+    case "nbd set-sock validation" test_nbd_set_sock_validation;
+    case "loop partitions" test_loop_partitions;
+    case "ext4 paths" test_ext4_paths;
+    case "mount lifecycle" test_mount_lifecycle;
+    case "mount nfs versions" test_mount_nfs_versions;
+    case "vivid streaming" test_vivid_streaming;
+    case "vivid fmt validation" test_vivid_fmt_validation;
+    case "usb lifecycle (feature)" test_usb_lifecycle_with_feature;
+    case "compat calls" test_compat_calls;
+    case "compat isolated" test_compat_is_isolated;
+  ]

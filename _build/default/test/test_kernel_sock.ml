@@ -1,0 +1,291 @@
+(* Socket state machines: the paper's motivating bind/listen example,
+   per-protocol behaviour, and the network-device paths. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let sockaddr = group [ i 2L; i 80L; i 1L ]
+
+let test_listen_requires_bind () =
+  (* Section 1's motivating example: listen on an unbound socket
+     returns EDESTADDRREQ. *)
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "listen" [ r 0; iv 8 ];
+           call "bind" [ r 0; sockaddr ];
+           call "listen" [ r 0; iv 8 ];
+         ])
+  in
+  check_errno "unbound" (Some K.Errno.EDESTADDRREQ) r.Exec.calls.(1);
+  check_ok "bind" r.Exec.calls.(2);
+  check_ok "bound listen" r.Exec.calls.(3)
+
+let test_bind_changes_listen_coverage () =
+  (* The influence relation is visible in coverage, which is what
+     dynamic learning keys on. *)
+  let unbound =
+    run (prog [ call "socket$tcp" [ i 2L; i 1L; i 6L ]; call "listen" [ r 0; iv 8 ] ])
+  in
+  let bound =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "bind" [ r 0; sockaddr ];
+           call "listen" [ r 0; iv 8 ];
+         ])
+  in
+  Alcotest.(check bool) "listen path differs" false
+    (Exec.cov_equal unbound.Exec.calls.(1).Exec.cov bound.Exec.calls.(2).Exec.cov)
+
+let test_double_bind () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "bind" [ r 0; sockaddr ];
+           call "bind" [ r 0; sockaddr ];
+         ])
+  in
+  check_errno "double bind" (Some K.Errno.EINVAL) r.Exec.calls.(2)
+
+let test_listen_udp_unsupported () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "bind" [ r 0; sockaddr ];
+           call "listen" [ r 0; iv 8 ];
+         ])
+  in
+  check_errno "udp cannot listen" (Some K.Errno.EOPNOTSUPP) r.Exec.calls.(2)
+
+let test_accept_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "accept" [ r 0; group [ i 0L; i 0L; i 0L ] ];
+           call "bind" [ r 0; sockaddr ];
+           call "listen" [ r 0; iv 8 ];
+           call "accept" [ r 0; group [ i 0L; i 0L; i 0L ] ];
+           call "sendto" [ r 4; buf 10; iv 10; i 0L; sockaddr ];
+         ])
+  in
+  check_errno "accept before listen" (Some K.Errno.EINVAL) r.Exec.calls.(1);
+  check_ok "accept" r.Exec.calls.(4);
+  check_ok "peer socket usable" r.Exec.calls.(5)
+
+let test_tcp_send_requires_connect () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "sendto" [ r 0; buf 10; iv 10; i 0L; sockaddr ];
+           call "connect" [ r 0; sockaddr ];
+           call "sendto" [ r 0; buf 10; iv 10; i 0L; sockaddr ];
+           call "connect" [ r 0; sockaddr ];
+         ])
+  in
+  check_errno "unconnected tcp send" (Some K.Errno.ENOTCONN) r.Exec.calls.(1);
+  check_ok "connected send" r.Exec.calls.(3);
+  check_errno "reconnect" (Some K.Errno.EISCONN) r.Exec.calls.(4)
+
+let test_udp_send_unconnected () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "sendto" [ r 0; buf 10; iv 10; i 0L; sockaddr ];
+         ])
+  in
+  check_ok "udp sendto without connect" r.Exec.calls.(1)
+
+let test_shutdown_pipe () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "connect" [ r 0; sockaddr ];
+           call "shutdown" [ r 0; i 2L ];
+           call "sendto" [ r 0; buf 10; iv 10; i 0L; sockaddr ];
+           call "shutdown" [ r 0; i 5L ];
+         ])
+  in
+  check_errno "send after shutdown" (Some K.Errno.EPIPE) r.Exec.calls.(3);
+  check_errno "bad how" (Some K.Errno.EINVAL) r.Exec.calls.(4)
+
+let test_connect_null_addr () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "connect" [ r 0; Value.Null ];
+         ])
+  in
+  check_errno "null sockaddr" (Some K.Errno.EFAULT) r.Exec.calls.(1)
+
+let test_oversized_send () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$udp" [ i 2L; i 2L; i 17L ];
+           call "sendto" [ r 0; buf 100000; iv 100000; i 0L; sockaddr ];
+         ])
+  in
+  check_errno "oversized frame" (Some K.Errno.ENOMEM) r.Exec.calls.(1)
+
+let test_generic_write_on_socket () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "write" [ r 0; buf 10; iv 10 ];
+           call "connect" [ r 0; sockaddr ];
+           call "write" [ r 0; buf 10; iv 10 ];
+         ])
+  in
+  check_errno "write before connect" (Some K.Errno.ENOTCONN) r.Exec.calls.(1);
+  check_ok "write after connect" r.Exec.calls.(3)
+
+let test_rxrpc_requires_bind () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$rxrpc" [ i 33L; i 2L; i 0L ];
+           call "connect" [ r 0; sockaddr ];
+           call "bind$rxrpc" [ r 0; sockaddr ];
+           call "connect" [ r 0; sockaddr ];
+         ])
+  in
+  check_errno "unbound rxrpc connect" (Some K.Errno.EDESTADDRREQ) r.Exec.calls.(1);
+  check_ok "bound connect" r.Exec.calls.(3)
+
+let test_bind_rxrpc_on_tcp () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$tcp" [ i 2L; i 1L; i 6L ];
+           call "bind$rxrpc" [ r 0; sockaddr ];
+         ])
+  in
+  check_errno "family mismatch" (Some K.Errno.EOPNOTSUPP) r.Exec.calls.(1)
+
+(* ---- netdev ---- *)
+
+let test_netdev_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$packet" [ i 17L; i 3L; i 768L ];
+           call "sendto$packet" [ r 0; buf 64; iv 64; i 0L; ptr (s "eth0") ];
+           call "ioctl$ifup" [ r 0; i 0x8914L; ptr (s "eth0") ];
+           call "sendto$packet" [ r 0; buf 64; iv 64; i 0L; ptr (s "eth0") ];
+           call "ioctl$ifdown" [ r 0; i 0x8915L; ptr (s "eth0") ];
+           call "sendto$packet" [ r 0; buf 64; iv 64; i 0L; ptr (s "eth0") ];
+         ])
+  in
+  check_errno "tx on down iface" (Some K.Errno.ENODEV) r.Exec.calls.(1);
+  check_ok "tx on up iface" r.Exec.calls.(3);
+  check_errno "tx after down" (Some K.Errno.ENODEV) r.Exec.calls.(5)
+
+let test_macvlan_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$packet" [ i 17L; i 3L; i 768L ];
+           call "ioctl$macvlan_del" [ r 0; i 0x89f1L; ptr (s "macvlan0") ];
+           call "ioctl$macvlan_create" [ r 0; i 0x89f0L; ptr (s "eth0") ];
+           call "ioctl$macvlan_create" [ r 0; i 0x89f0L; ptr (s "eth0") ];
+           call "ioctl$ifup" [ r 0; i 0x8914L; ptr (s "macvlan0") ];
+         ])
+  in
+  check_errno "del before create" (Some K.Errno.ENODEV) r.Exec.calls.(1);
+  check_ok "create" r.Exec.calls.(2);
+  check_errno "duplicate" (Some K.Errno.EEXIST) r.Exec.calls.(3);
+  check_ok "up" r.Exec.calls.(4)
+
+let test_qdisc_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$packet" [ i 17L; i 3L; i 768L ];
+           call "ioctl$qdisc_add" [ r 0; i 0x89f2L; ptr (s "eth0"); iv 100 ];
+           call "ioctl$qdisc_del" [ r 0; i 0x89f3L; ptr (s "eth0") ];
+           call "ioctl$qdisc_add" [ r 0; i 0x89f2L; ptr (s "nope"); iv 100 ];
+         ])
+  in
+  check_ok "add" r.Exec.calls.(1);
+  check_ok "del" r.Exec.calls.(2);
+  check_errno "unknown dev" (Some K.Errno.ENODEV) r.Exec.calls.(3)
+
+(* ---- misc socket families ---- *)
+
+let test_llcp_listen_requires_bind () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$llcp" [ i 39L; i 1L; i 1L ];
+           call "listen$llcp" [ r 0; iv 4 ];
+           call "bind$llcp" [ r 0; group [ i 0L; i 8L; buf 8 ] ];
+           call "listen$llcp" [ r 0; iv 4 ];
+         ])
+  in
+  check_errno "unbound" (Some K.Errno.EDESTADDRREQ) r.Exec.calls.(1);
+  check_ok "bound listen" r.Exec.calls.(3)
+
+let test_154_key_management () =
+  let r =
+    run
+      (prog
+         [
+           call "socket$ieee802154" [ i 36L; i 2L; i 0L ];
+           call "ioctl$154_SET_KEY" [ r 0; i 0x8b01L; group [ i 0L; i 7L; buf 16 ] ];
+           call "ioctl$154_DEL_KEY" [ r 0; i 0x8b02L; group [ i 0L; i 7L; buf 0 ] ];
+           call "ioctl$154_SET_KEY" [ r 0; i 0x8b01L; group [ i 9L; i 7L; buf 16 ] ];
+         ])
+  in
+  check_ok "set" r.Exec.calls.(1);
+  check_ok "del existing" r.Exec.calls.(2);
+  check_errno "bad mode" (Some K.Errno.EINVAL) r.Exec.calls.(3)
+
+let suite =
+  [
+    case "listen requires bind (motivation)" test_listen_requires_bind;
+    case "bind changes listen coverage" test_bind_changes_listen_coverage;
+    case "double bind" test_double_bind;
+    case "udp cannot listen" test_listen_udp_unsupported;
+    case "accept lifecycle" test_accept_lifecycle;
+    case "tcp send requires connect" test_tcp_send_requires_connect;
+    case "udp unconnected send" test_udp_send_unconnected;
+    case "shutdown pipe" test_shutdown_pipe;
+    case "connect null addr" test_connect_null_addr;
+    case "oversized send" test_oversized_send;
+    case "generic write on socket" test_generic_write_on_socket;
+    case "rxrpc requires bind" test_rxrpc_requires_bind;
+    case "bind$rxrpc family mismatch" test_bind_rxrpc_on_tcp;
+    case "netdev up/down" test_netdev_lifecycle;
+    case "macvlan lifecycle" test_macvlan_lifecycle;
+    case "qdisc lifecycle" test_qdisc_lifecycle;
+    case "llcp listen requires bind" test_llcp_listen_requires_bind;
+    case "802154 key management" test_154_key_management;
+  ]

@@ -1,0 +1,350 @@
+(* VFS/memfd state-machine semantics: open modes, offsets, links,
+   epoll membership, AIO lifecycle, sealing. *)
+
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+open Helpers
+
+let test_open_missing_enoent () =
+  let r = run (prog [ call "open" [ s "/tmp/nope"; i 0L; i 0L ] ]) in
+  check_errno "missing file" (Some K.Errno.ENOENT) r.Exec.calls.(0)
+
+let test_open_creat_then_reopen () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "open" [ s "/tmp/f1"; i 0L; i 0L ];
+         ])
+  in
+  check_ok "create" r.Exec.calls.(0);
+  check_ok "reopen without O_CREAT" r.Exec.calls.(1)
+
+let test_open_null_path () =
+  let r = run (prog [ call "open" [ Value.Str ""; i 0x40L; i 0L ] ]) in
+  check_errno "empty path faults" (Some K.Errno.EFAULT) r.Exec.calls.(0)
+
+let test_write_grows_read_back () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "write" [ r 0; buf 100; iv 100 ];
+           call "lseek" [ r 0; i 0L; i 0L ];
+           call "read" [ r 0; buf 100; iv 100 ];
+         ])
+  in
+  Alcotest.(check int64) "write count" 100L r.Exec.calls.(1).Exec.retval;
+  Alcotest.(check int64) "read sees the data" 100L r.Exec.calls.(3).Exec.retval
+
+let test_read_at_eof () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "read" [ r 0; buf 10; iv 10 ];
+         ])
+  in
+  Alcotest.(check int64) "empty file reads 0" 0L r.Exec.calls.(1).Exec.retval
+
+let test_trunc_flag_resets_size () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "write" [ r 0; buf 50; iv 50 ];
+           call "open" [ s "/tmp/f1"; i 0x240L; i 0L ]; (* O_CREAT|O_TRUNC *)
+           call "read" [ r 2; buf 50; iv 50 ];
+         ])
+  in
+  Alcotest.(check int64) "truncated on open" 0L r.Exec.calls.(3).Exec.retval
+
+let test_lseek_whence () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "lseek" [ r 0; iv 10; i 0L ]; (* SET *)
+           call "lseek" [ r 0; iv 10; i 1L ]; (* CUR *)
+           call "lseek" [ r 0; i 0L; i 2L ]; (* END *)
+           call "lseek" [ r 0; iv (-1); i 0L ];
+         ])
+  in
+  Alcotest.(check int64) "SET" 10L r.Exec.calls.(1).Exec.retval;
+  Alcotest.(check int64) "CUR accumulates" 20L r.Exec.calls.(2).Exec.retval;
+  Alcotest.(check int64) "END is size" 2048L r.Exec.calls.(3).Exec.retval;
+  check_errno "negative dest" (Some K.Errno.EINVAL) r.Exec.calls.(4)
+
+let test_close_then_use () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "close" [ r 0 ];
+           call "read" [ r 0; buf 10; iv 10 ];
+           call "close" [ r 0 ];
+         ])
+  in
+  check_ok "close" r.Exec.calls.(1);
+  check_errno "read after close" (Some K.Errno.EBADF) r.Exec.calls.(2);
+  check_errno "double close" (Some K.Errno.EBADF) r.Exec.calls.(3)
+
+let test_dup_shares_object () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "dup" [ r 0 ];
+           call "lseek" [ r 0; iv 100; i 0L ];
+           call "read" [ r 1; buf 2048; iv 2048 ];
+         ])
+  in
+  check_ok "dup" r.Exec.calls.(1);
+  (* The duplicate shares the offset moved through the original. *)
+  Alcotest.(check int64) "shared offset" 1948L r.Exec.calls.(3).Exec.retval
+
+let test_dup_keeps_object_alive () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "dup" [ r 0 ];
+           call "close" [ r 0 ];
+           call "read" [ r 1; buf 10; iv 10 ];
+         ])
+  in
+  check_ok "alias still readable" r.Exec.calls.(3)
+
+let test_link_unlink_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "link" [ s "/tmp/f1"; s "/tmp/l0" ];
+           call "link" [ s "/tmp/f1"; s "/tmp/f1" ];
+           call "unlink" [ s "/tmp/f1" ];
+           call "unlink" [ s "/tmp/f1" ];
+         ])
+  in
+  check_ok "link" r.Exec.calls.(1);
+  check_errno "self link" (Some K.Errno.EEXIST) r.Exec.calls.(2);
+  check_ok "first unlink (nlink 2->1)" r.Exec.calls.(3);
+  check_ok "second unlink removes" r.Exec.calls.(4)
+
+let test_epoll_membership () =
+  let r =
+    run
+      (prog
+         [
+           call "epoll_create" [ iv 4 ];
+           call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+           call "epoll_ctl$EPOLL_CTL_ADD" [ r 0; i 1L; r 1; group [ i 1L; i 0L ] ];
+           call "epoll_ctl$EPOLL_CTL_ADD" [ r 0; i 1L; r 1; group [ i 1L; i 0L ] ];
+           call "epoll_wait" [ r 0; group [ i 0L; i 0L ]; iv 4; iv 0 ];
+           call "epoll_ctl$EPOLL_CTL_DEL" [ r 0; i 2L; r 1; group [ i 1L; i 0L ] ];
+           call "epoll_ctl$EPOLL_CTL_DEL" [ r 0; i 2L; r 1; group [ i 1L; i 0L ] ];
+         ])
+  in
+  check_ok "add" r.Exec.calls.(2);
+  check_errno "re-add" (Some K.Errno.EEXIST) r.Exec.calls.(3);
+  Alcotest.(check int64) "one ready" 1L r.Exec.calls.(4).Exec.retval;
+  check_ok "del" r.Exec.calls.(5);
+  check_errno "re-del" (Some K.Errno.ENOENT) r.Exec.calls.(6)
+
+let test_epoll_bad_fd () =
+  let r =
+    run
+      (prog
+         [
+           call "epoll_create" [ iv (-1) ];
+           call "epoll_create" [ iv 4 ];
+           call "epoll_ctl$EPOLL_CTL_ADD"
+             [ r 1; i 1L; Value.Res_special 99L; group [ i 1L; i 0L ] ];
+         ])
+  in
+  check_errno "negative size" (Some K.Errno.EINVAL) r.Exec.calls.(0);
+  check_errno "watching a bad fd" (Some K.Errno.EBADF) r.Exec.calls.(2)
+
+let test_aio_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "io_setup" [ iv 4 ];
+           call "io_submit" [ r 0; iv 0; ptr (Value.Group []) ];
+           call "io_destroy" [ r 0 ];
+           call "io_setup" [ i 0L ];
+           call "io_submit" [ Value.Res_special 99L; iv 1; ptr (Value.Group []) ];
+         ])
+  in
+  check_ok "setup" r.Exec.calls.(0);
+  Alcotest.(check int64) "submit zero" 0L r.Exec.calls.(1).Exec.retval;
+  check_ok "destroy with nothing inflight" r.Exec.calls.(2);
+  check_errno "zero events" (Some K.Errno.EINVAL) r.Exec.calls.(3);
+  check_errno "bad ctx" (Some K.Errno.EINVAL) r.Exec.calls.(4)
+
+let test_chrdev_lifecycle () =
+  let r =
+    run
+      (prog
+         [
+           call "open$chr" [ s "/dev/c0"; i 0L ];
+           call "mknod$chr" [ s "/dev/c0"; i 0x2000L; i 0L ];
+           call "mknod$chr" [ s "/dev/c0"; i 0x2000L; i 0L ];
+           call "open$chr" [ s "/dev/c0"; i 0L ];
+           call "unlink" [ s "/dev/c0" ];
+           call "unlink" [ s "/dev/c0" ];
+         ])
+  in
+  check_errno "open before mknod" (Some K.Errno.ENOENT) r.Exec.calls.(0);
+  check_ok "mknod" r.Exec.calls.(1);
+  check_errno "re-mknod" (Some K.Errno.EEXIST) r.Exec.calls.(2);
+  check_ok "open" r.Exec.calls.(3);
+  check_ok "unlink unregisters" r.Exec.calls.(4);
+  check_errno "second unlink" (Some K.Errno.ENOENT) r.Exec.calls.(5)
+
+(* ---- memfd ---- *)
+
+let test_memfd_sealing_semantics () =
+  let r =
+    run
+      (prog
+         [
+           call "memfd_create" [ ptr (s "m"); i 2L ]; (* allow sealing *)
+           call "write" [ r 0; buf 64; iv 64 ];
+           call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x8L ]; (* SEAL_WRITE *)
+           call "write" [ r 0; buf 64; iv 64 ];
+           call "fcntl$GET_SEALS" [ r 0; i 0x40aL ];
+         ])
+  in
+  check_ok "write before seal" r.Exec.calls.(1);
+  check_ok "seal" r.Exec.calls.(2);
+  check_errno "write after SEAL_WRITE" (Some K.Errno.EPERM) r.Exec.calls.(3);
+  Alcotest.(check int64) "seals readable" 0x8L r.Exec.calls.(4).Exec.retval
+
+let test_memfd_seal_seal () =
+  (* Without MFD_ALLOW_SEALING the object starts F_SEAL_SEAL'd. *)
+  let r =
+    run
+      (prog
+         [
+           call "memfd_create" [ ptr (s "m"); i 0L ];
+           call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x8L ];
+         ])
+  in
+  check_errno "sealing is sealed" (Some K.Errno.EPERM) r.Exec.calls.(1)
+
+let test_memfd_grow_seal () =
+  let r =
+    run
+      (prog
+         [
+           call "memfd_create" [ ptr (s "m"); i 2L ];
+           call "ftruncate" [ r 0; iv 4096 ];
+           call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x4L ]; (* SEAL_GROW *)
+           call "ftruncate" [ r 0; iv 8192 ];
+           call "ftruncate" [ r 0; iv 100 ];
+         ])
+  in
+  check_ok "grow before seal" r.Exec.calls.(1);
+  check_errno "grow after SEAL_GROW" (Some K.Errno.EPERM) r.Exec.calls.(3);
+  check_ok "shrink still fine" r.Exec.calls.(4)
+
+let test_memfd_mmap_paths () =
+  (* Figure 2: the sealed mapping takes branches the unsealed one
+     cannot. *)
+  let base =
+    [
+      call "memfd_create" [ ptr (s "m"); i 2L ];
+      call "write" [ r 0; buf 64; iv 64 ];
+    ]
+  in
+  let unsealed =
+    run (prog (base @ [ call "mmap" [ vma; iv 4096; i 1L; i 2L; r 0; i 0L ] ]))
+  in
+  let sealed =
+    run
+      (prog
+         (base
+         @ [
+             call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x8L ];
+             call "mmap" [ vma; iv 4096; i 1L; i 2L; r 0; i 0L ];
+           ]))
+  in
+  check_ok "unsealed map" unsealed.Exec.calls.(2);
+  check_ok "sealed map" sealed.Exec.calls.(3);
+  Alcotest.(check bool) "different mmap paths" false
+    (Exec.cov_equal unsealed.Exec.calls.(2).Exec.cov sealed.Exec.calls.(3).Exec.cov)
+
+let test_memfd_mmap_writable_sealed () =
+  let r =
+    run
+      (prog
+         [
+           call "memfd_create" [ ptr (s "m"); i 2L ];
+           call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x8L ];
+           call "mmap" [ vma; iv 4096; i 3L; i 1L; r 0; i 0L ]; (* PROT_WRITE *)
+         ])
+  in
+  check_errno "writable map of sealed memfd" (Some K.Errno.EPERM) r.Exec.calls.(2)
+
+let test_memfd_mmap_empty () =
+  let r =
+    run
+      (prog
+         [
+           call "memfd_create" [ ptr (s "m"); i 2L ];
+           call "mmap" [ vma; iv 4096; i 1L; i 2L; r 0; i 0L ];
+         ])
+  in
+  check_errno "empty object" (Some K.Errno.ENOMEM) r.Exec.calls.(1)
+
+let test_fallocate_modes () =
+  let r =
+    run
+      (prog
+         [
+           call "open" [ s "/tmp/f1"; i 0x40L; i 0x1ffL ];
+           call "fallocate" [ r 0; i 0L; i 0L; iv 4096 ];
+           call "fallocate" [ r 0; i 0L; i 0L; i 0L ];
+           call "fstat" [ r 0; group [ i 0L; i 0L; i 0L ] ];
+         ])
+  in
+  check_ok "allocate" r.Exec.calls.(1);
+  check_errno "zero length" (Some K.Errno.EINVAL) r.Exec.calls.(2);
+  check_ok "fstat" r.Exec.calls.(3)
+
+let suite =
+  [
+    case "open missing" test_open_missing_enoent;
+    case "open O_CREAT/reopen" test_open_creat_then_reopen;
+    case "open empty path" test_open_null_path;
+    case "write grows, read back" test_write_grows_read_back;
+    case "read at EOF" test_read_at_eof;
+    case "O_TRUNC" test_trunc_flag_resets_size;
+    case "lseek whence" test_lseek_whence;
+    case "close then use" test_close_then_use;
+    case "dup shares object" test_dup_shares_object;
+    case "dup keeps object alive" test_dup_keeps_object_alive;
+    case "link/unlink lifecycle" test_link_unlink_lifecycle;
+    case "epoll membership" test_epoll_membership;
+    case "epoll bad args" test_epoll_bad_fd;
+    case "aio lifecycle" test_aio_lifecycle;
+    case "chrdev lifecycle" test_chrdev_lifecycle;
+    case "memfd sealing" test_memfd_sealing_semantics;
+    case "memfd F_SEAL_SEAL" test_memfd_seal_seal;
+    case "memfd grow seal" test_memfd_grow_seal;
+    case "memfd mmap paths differ (Fig 2)" test_memfd_mmap_paths;
+    case "memfd writable sealed map" test_memfd_mmap_writable_sealed;
+    case "memfd empty map" test_memfd_mmap_empty;
+    case "fallocate modes" test_fallocate_modes;
+  ]

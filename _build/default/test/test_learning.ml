@@ -1,0 +1,324 @@
+(* Relation table, static learning, Algorithm 1 (minimization),
+   Algorithm 2 (dynamic learning), Algorithm 3 (selection), alpha. *)
+
+module Prog = Healer_executor.Prog
+module Exec = Healer_executor.Exec
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module K = Healer_kernel
+open Healer_core
+open Helpers
+
+let id name = (Target.find_exn (tgt ()) name).Syscall.id
+
+(* An exec callback against a fresh 5.11 kernel per run. *)
+let exec_cb () =
+  let kernel = boot () in
+  fun p -> snd (Exec.run kernel p)
+
+(* ---- relation table ---- *)
+
+let test_table_basics () =
+  let t = Relation_table.create 8 in
+  Alcotest.(check int) "empty" 0 (Relation_table.count t);
+  Alcotest.(check bool) "set fresh" true (Relation_table.set t 1 2);
+  Alcotest.(check bool) "set dup" false (Relation_table.set t 1 2);
+  Alcotest.(check bool) "self ignored" false (Relation_table.set t 3 3);
+  Alcotest.(check bool) "get" true (Relation_table.get t 1 2);
+  Alcotest.(check bool) "asymmetric" false (Relation_table.get t 2 1);
+  Alcotest.(check int) "count" 1 (Relation_table.count t);
+  Alcotest.(check (list int)) "influenced_by" [ 2 ] (Relation_table.influenced_by t 1);
+  Alcotest.(check (list int)) "influencers_of" [ 1 ] (Relation_table.influencers_of t 2)
+
+let test_table_edges_merge_copy () =
+  let a = Relation_table.create 6 in
+  ignore (Relation_table.set a 0 1);
+  ignore (Relation_table.set a 2 3);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (2, 3) ]
+    (Relation_table.edges a);
+  let b = Relation_table.copy a in
+  ignore (Relation_table.set b 4 5);
+  Alcotest.(check int) "copy isolated" 2 (Relation_table.count a);
+  let c = Relation_table.create 6 in
+  ignore (Relation_table.set c 0 1);
+  let fresh = Relation_table.merge_into ~dst:c b in
+  Alcotest.(check int) "merge fresh" 2 fresh;
+  Alcotest.(check int) "merged count" 3 (Relation_table.count c)
+
+let test_table_qcheck =
+  qcheck "table get/set consistent with a reference"
+    QCheck2.Gen.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let t = Relation_table.create 20 in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) ->
+          if a <> b then begin
+            ignore (Relation_table.set t a b);
+            Hashtbl.replace reference (a, b) ()
+          end)
+        pairs;
+      Relation_table.count t = Hashtbl.length reference
+      && Hashtbl.fold (fun (a, b) () acc -> acc && Relation_table.get t a b)
+           reference true)
+
+(* ---- static learning ---- *)
+
+let test_static_learning () =
+  let table = Static_learning.initial_table (tgt ()) in
+  let edge a b = Relation_table.get table (id a) (id b) in
+  (* Exact-kind resource flow is captured... *)
+  Alcotest.(check bool) "socket$tcp -> listen" true (edge "socket$tcp" "listen");
+  Alcotest.(check bool) "kvm open -> CREATE_VM" true
+    (edge "openat$kvm" "ioctl$KVM_CREATE_VM");
+  Alcotest.(check bool) "CREATE_VM -> CREATE_VCPU" true
+    (edge "ioctl$KVM_CREATE_VM" "ioctl$KVM_CREATE_VCPU");
+  Alcotest.(check bool) "CREATE_VCPU -> RUN" true
+    (edge "ioctl$KVM_CREATE_VCPU" "ioctl$KVM_RUN");
+  (* ... state-only relations are not (that is dynamic learning's job,
+     Figure 2)... *)
+  Alcotest.(check bool) "ADD_SEALS -> mmap unknown statically" false
+    (edge "fcntl$ADD_SEALS" "mmap");
+  Alcotest.(check bool) "bind -> listen unknown statically" false
+    (edge "bind" "listen");
+  (* ... stateless long-tail calls have no relations at all. *)
+  Alcotest.(check (list int)) "compat isolated" []
+    (Relation_table.influenced_by table (id "prctl$PR_SET_NAME"));
+  (* The graph is sparse overall (paper: sparse, locally dense). *)
+  let n = Target.n_syscalls (tgt ()) in
+  Alcotest.(check bool) "sparse" true
+    (Relation_table.count table * 50 < n * n)
+
+(* ---- minimization (Algorithm 1) ---- *)
+
+let memfd_noise_prog () =
+  (* [memfd_create; open(noise); write; fcntl$ADD_SEALS; mmap] — the
+     paper's Figure 2 example with an unrelated open inserted. *)
+  prog
+    [
+      call "memfd_create" [ ptr (s "memfd"); i 3L ];
+      call "open" [ s "/etc/passwd"; i 0L; i 0L ];
+      call "write" [ r 0; buf 64; iv 64 ];
+      call "fcntl$ADD_SEALS" [ r 0; i 0x409L; i 0x8L ];
+      call "mmap" [ vma; iv 4096; i 1L; i 2L; r 0; i 0L ];
+    ]
+
+let observe p =
+  let exec = exec_cb () in
+  let run_res = exec p in
+  let cov = Array.map (fun (c : Exec.call_result) -> c.Exec.cov) run_res.Exec.calls in
+  (* Pretend the last call contributed new coverage. *)
+  let new_cov = Array.make (Prog.length p) [] in
+  new_cov.(Prog.length p - 1) <- cov.(Prog.length p - 1);
+  { Prog_cov.prog = p; cov; new_cov }
+
+let test_minimize_drops_noise () =
+  let pc = observe (memfd_noise_prog ()) in
+  let minimized = Minimize.minimize ~exec:(exec_cb ()) pc in
+  Alcotest.(check int) "one subsequence" 1 (List.length minimized);
+  let m = (List.hd minimized).Prog_cov.prog in
+  let names =
+    List.init (Prog.length m) (fun k ->
+        (Prog.call m k).Prog.syscall.Syscall.name)
+  in
+  (* The unrelated open and the write are gone; the seal-setter that
+     changes mmap's path is retained. *)
+  Alcotest.(check bool) "memfd kept" true (List.mem "memfd_create" names);
+  Alcotest.(check bool) "seals kept" true (List.mem "fcntl$ADD_SEALS" names);
+  Alcotest.(check bool) "mmap kept" true (List.mem "mmap" names);
+  Alcotest.(check bool) "noise dropped" false (List.mem "open" names)
+
+let test_minimize_preserves_target_cov () =
+  let pc = observe (memfd_noise_prog ()) in
+  let original_last = pc.Prog_cov.cov.(Prog_cov.length pc - 1) in
+  let minimized = Minimize.minimize ~exec:(exec_cb ()) pc in
+  let m = List.hd minimized in
+  let last = Prog_cov.call_cov m (Prog_cov.length m - 1) in
+  Alcotest.(check bool) "same final-call coverage" true
+    (Exec.cov_equal original_last last)
+
+let test_minimize_multiple_seeds () =
+  (* Two independent new-coverage calls yield two subsequences. *)
+  let p =
+    prog
+      [
+        call "socket$tcp" [ i 2L; i 1L; i 6L ];
+        call "bind" [ r 0; group [ i 2L; i 80L; i 1L ] ];
+        call "listen" [ r 0; iv 8 ];
+        call "openat$vcs" [ i (-100L); s "/dev/vcs"; i 0L ];
+        call "read" [ r 3; buf 16; iv 16 ];
+      ]
+  in
+  let exec = exec_cb () in
+  let run_res = exec p in
+  let cov = Array.map (fun (c : Exec.call_result) -> c.Exec.cov) run_res.Exec.calls in
+  let new_cov = Array.make 5 [] in
+  new_cov.(2) <- cov.(2);
+  new_cov.(4) <- cov.(4);
+  let pc = { Prog_cov.prog = p; cov; new_cov } in
+  let minimized = Minimize.minimize ~exec:(exec_cb ()) pc in
+  Alcotest.(check int) "two subsequences" 2 (List.length minimized);
+  (* Subsequences are independent: the vcs one has no socket calls. *)
+  let names m =
+    List.init (Prog.length m.Prog_cov.prog) (fun k ->
+        (Prog.call m.Prog_cov.prog k).Prog.syscall.Syscall.name)
+  in
+  let vcs_seq =
+    List.find (fun m -> List.mem "read" (names m)) minimized
+  in
+  Alcotest.(check bool) "vcs seq drops socket calls" false
+    (List.mem "listen" (names vcs_seq))
+
+(* ---- dynamic learning (Algorithm 2) ---- *)
+
+let test_dynamic_learns_figure2 () =
+  (* The paper's running example: fcntl$ADD_SEALS -> mmap is learnable
+     only dynamically. *)
+  let table = Static_learning.initial_table (tgt ()) in
+  let pc = observe (memfd_noise_prog ()) in
+  let fresh, _minimized =
+    Dynamic_learning.learn_from_run ~exec:(exec_cb ()) ~table pc
+  in
+  Alcotest.(check bool) "ADD_SEALS -> mmap learned" true
+    (Relation_table.get table (id "fcntl$ADD_SEALS") (id "mmap"));
+  Alcotest.(check bool) "reported as fresh" true
+    (List.mem (id "fcntl$ADD_SEALS", id "mmap") fresh)
+
+let test_dynamic_learns_bind_listen () =
+  let table = Static_learning.initial_table (tgt ()) in
+  let p =
+    prog
+      [
+        call "socket$tcp" [ i 2L; i 1L; i 6L ];
+        call "bind" [ r 0; group [ i 2L; i 80L; i 1L ] ];
+        call "listen" [ r 0; iv 8 ];
+      ]
+  in
+  let exec = exec_cb () in
+  let run_res = exec p in
+  let cov = Array.map (fun (c : Exec.call_result) -> c.Exec.cov) run_res.Exec.calls in
+  let new_cov = Array.make 3 [] in
+  new_cov.(2) <- cov.(2);
+  let pc = { Prog_cov.prog = p; cov; new_cov } in
+  ignore (Dynamic_learning.learn_from_run ~exec:(exec_cb ()) ~table pc);
+  Alcotest.(check bool) "bind -> listen learned" true
+    (Relation_table.get table (id "bind") (id "listen"))
+
+let test_dynamic_skips_known () =
+  (* Pairs already in the table are not re-analyzed: learn on a
+     sequence whose only consecutive pair is statically known. *)
+  let table = Static_learning.initial_table (tgt ()) in
+  let before = Relation_table.count table in
+  let p =
+    prog
+      [
+        call "socket$tcp" [ i 2L; i 1L; i 6L ];
+        call "listen" [ r 0; iv 8 ];
+      ]
+  in
+  let pc = Prog_cov.observe ~exec:(exec_cb ()) p in
+  let fresh = Dynamic_learning.learn ~exec:(exec_cb ()) ~table [ pc ] in
+  Alcotest.(check (list (pair int int))) "nothing new" [] fresh;
+  Alcotest.(check int) "count unchanged" before (Relation_table.count table)
+
+(* ---- selection (Algorithm 3) and alpha ---- *)
+
+let test_select_alpha_zero_is_random () =
+  let table = Relation_table.create (Target.n_syscalls (tgt ())) in
+  ignore (Relation_table.set table 0 1);
+  let rng = rng () in
+  let used = ref false in
+  for _ = 1 to 100 do
+    let o = Select.select rng table ~alpha:0.0 ~sub:[ 0 ] in
+    if o.Select.used_table then used := true
+  done;
+  Alcotest.(check bool) "never uses table at alpha 0" false !used
+
+let test_select_follows_relations () =
+  let table = Relation_table.create (Target.n_syscalls (tgt ())) in
+  ignore (Relation_table.set table 5 9);
+  ignore (Relation_table.set table 6 9);
+  ignore (Relation_table.set table 5 7);
+  let rng = rng () in
+  let picks9 = ref 0 and picks7 = ref 0 and total_table = ref 0 in
+  for _ = 1 to 2000 do
+    let o = Select.select rng table ~alpha:1.0 ~sub:[ 5; 6 ] in
+    if o.Select.used_table then begin
+      incr total_table;
+      if o.Select.id = 9 then incr picks9;
+      if o.Select.id = 7 then incr picks7
+    end
+  done;
+  Alcotest.(check int) "always table-guided" 2000 !total_table;
+  Alcotest.(check int) "only candidates" 2000 (!picks9 + !picks7);
+  (* 9 has two influencers, 7 one: expect roughly 2:1. *)
+  Alcotest.(check bool) "weighting respected" true
+    (!picks9 > !picks7 + 200)
+
+let test_select_empty_candidates_fallback () =
+  let table = Relation_table.create (Target.n_syscalls (tgt ())) in
+  let rng = rng () in
+  let o = Select.select rng table ~alpha:1.0 ~sub:[ 1; 2; 3 ] in
+  Alcotest.(check bool) "fallback is random" false o.Select.used_table
+
+let test_alpha_adaptation () =
+  let a = Alpha.create ~init:0.5 ~window:128 () in
+  (* Table selections keep finding coverage, random ones never do. *)
+  for _ = 1 to 64 do
+    Alpha.record a ~used_table:true ~new_cov:true;
+    Alpha.record a ~used_table:false ~new_cov:false
+  done;
+  Alcotest.(check bool) "alpha rose" true (Alpha.value a > 0.6);
+  Alcotest.(check int) "one update" 1 (Alpha.updates a);
+  (* Now invert the payoff. *)
+  let b = Alpha.create ~init:0.8 ~window:128 () in
+  for _ = 1 to 64 do
+    Alpha.record b ~used_table:true ~new_cov:false;
+    Alpha.record b ~used_table:false ~new_cov:true
+  done;
+  Alcotest.(check bool) "alpha fell" true (Alpha.value b < 0.8)
+
+let test_alpha_needs_both_arms () =
+  (* With only one arm sampled, alpha must not move. *)
+  let a = Alpha.create ~init:0.5 ~window:64 () in
+  for _ = 1 to 64 do
+    Alpha.record a ~used_table:true ~new_cov:true
+  done;
+  Alcotest.(check (float 1e-9)) "unchanged" 0.5 (Alpha.value a)
+
+(* ---- feedback ---- *)
+
+let test_feedback () =
+  let fb = Feedback.create () in
+  let p = memfd_noise_prog () in
+  let run_res = (exec_cb ()) p in
+  Alcotest.(check bool) "fresh run is interesting" true
+    (Feedback.peek_new fb run_res);
+  let per_call = Feedback.process fb run_res in
+  Alcotest.(check bool) "interesting" true (Feedback.is_interesting per_call);
+  Alcotest.(check bool) "coverage recorded" true (Feedback.coverage fb > 0);
+  (* The same run again brings nothing new. *)
+  let run2 = (exec_cb ()) p in
+  let per_call2 = Feedback.process fb run2 in
+  Alcotest.(check bool) "replay uninteresting" false
+    (Feedback.is_interesting per_call2)
+
+let suite =
+  [
+    case "relation table basics" test_table_basics;
+    case "relation table edges/merge/copy" test_table_edges_merge_copy;
+    test_table_qcheck;
+    case "static learning" test_static_learning;
+    case "minimize drops noise" test_minimize_drops_noise;
+    case "minimize preserves coverage" test_minimize_preserves_target_cov;
+    case "minimize multiple seeds" test_minimize_multiple_seeds;
+    case "dynamic learns Figure 2" test_dynamic_learns_figure2;
+    case "dynamic learns bind->listen" test_dynamic_learns_bind_listen;
+    case "dynamic skips known pairs" test_dynamic_skips_known;
+    case "select alpha=0 random" test_select_alpha_zero_is_random;
+    case "select follows relations" test_select_follows_relations;
+    case "select empty fallback" test_select_empty_candidates_fallback;
+    case "alpha adaptation" test_alpha_adaptation;
+    case "alpha needs both arms" test_alpha_needs_both_arms;
+    case "feedback" test_feedback;
+  ]

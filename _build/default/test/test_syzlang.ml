@@ -1,0 +1,323 @@
+module Lexer = Healer_syzlang.Lexer
+module Parser = Healer_syzlang.Parser
+module Target = Healer_syzlang.Target
+module Ty = Healer_syzlang.Ty
+module Field = Healer_syzlang.Field
+module Syscall = Healer_syzlang.Syscall
+open Helpers
+
+(* ---- lexer ---- *)
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basic () =
+  match toks "open(file fd)" with
+  | [ Lexer.IDENT "open"; Lexer.LPAREN; Lexer.IDENT "file"; Lexer.IDENT "fd";
+      Lexer.RPAREN; Lexer.NEWLINE; Lexer.EOF ] ->
+    ()
+  | ts -> Alcotest.fail (Printf.sprintf "unexpected tokens (%d)" (List.length ts))
+
+let test_lexer_idents_with_dollar () =
+  match toks "ioctl$KVM_RUN" with
+  | [ Lexer.IDENT "ioctl$KVM_RUN"; Lexer.NEWLINE; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "specialized name should lex as one ident"
+
+let test_lexer_numbers () =
+  match toks "1 0x2a -7 -0x10" with
+  | [ Lexer.INT 1L; Lexer.INT 42L; Lexer.INT (-7L); Lexer.INT (-16L);
+      Lexer.NEWLINE; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "number lexing"
+
+let test_lexer_strings () =
+  match toks {|"/dev/kvm"|} with
+  | [ Lexer.STRING "/dev/kvm"; Lexer.NEWLINE; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "string lexing"
+
+let test_lexer_comments () =
+  match toks "# a comment\nfoo # trailing\n" with
+  | [ Lexer.IDENT "foo"; Lexer.NEWLINE; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comments should vanish"
+
+let test_lexer_newline_in_brackets () =
+  (* Newlines inside brackets do not end the declaration. *)
+  let ts = toks "f(a\nint32,\nb int64)" in
+  let newlines = List.length (List.filter (fun t -> t = Lexer.NEWLINE) ts) in
+  Alcotest.(check int) "only the final newline" 1 newlines
+
+let test_lexer_blank_lines_collapse () =
+  let ts = toks "a\n\n\nb\n" in
+  let newlines = List.length (List.filter (fun t -> t = Lexer.NEWLINE) ts) in
+  Alcotest.(check int) "collapsed" 2 newlines
+
+let test_lexer_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ src)
+  in
+  expect_error "\"unterminated";
+  expect_error "@";
+  expect_error "0x"
+
+(* ---- parser ---- *)
+
+let parse_one src =
+  match Parser.parse src with
+  | [ d ] -> d
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 decl, got %d" (List.length ds))
+
+let test_parse_resource () =
+  match parse_one "resource fd[int32]: -1 0" with
+  | Parser.Resource { name = "fd"; parent = "int32"; values = [ -1L; 0L ] } -> ()
+  | _ -> Alcotest.fail "resource decl"
+
+let test_parse_flags () =
+  match parse_one "flags open_flags = 0x0 0x1 0x2" with
+  | Parser.Flagset { name = "open_flags"; values = [ 0L; 1L; 2L ] } -> ()
+  | _ -> Alcotest.fail "flags decl"
+
+let test_parse_struct () =
+  match parse_one "struct st { a int32, b ptr[in, int64] }" with
+  | Parser.Structdef { name = "st"; fields = [ fa; fb ] } -> (
+    Alcotest.(check string) "field a" "a" fa.Field.fname;
+    match fb.Field.fty with
+    | Ty.Ptr { dir = Ty.In; elem = Ty.Int { bits = 64; _ } } -> ()
+    | _ -> Alcotest.fail "ptr field type")
+  | _ -> Alcotest.fail "struct decl"
+
+let test_parse_call () =
+  match parse_one "open(file filename[\"/tmp/x\"], mode const[0x1ff]) fd" with
+  | Parser.Call { name = "open"; args = [ _; _ ]; ret = Some "fd" } -> ()
+  | _ -> Alcotest.fail "call decl"
+
+let test_parse_type_exprs () =
+  match parse_one "f(a int32[0:7], b len[c], c buffer[in], d vma, e proc[100, 4], g array[int8, 2:5])" with
+  | Parser.Call { args; _ } -> (
+    let types = List.map (fun (f : Field.t) -> f.Field.fty) args in
+    match types with
+    | [ Ty.Int { bits = 32; range = Some (0L, 7L) }; Ty.Len "c";
+        Ty.Buffer { dir = Ty.In }; Ty.Vma; Ty.Proc { start = 100L; step = 4L };
+        Ty.Array { elem = Ty.Int { bits = 8; _ }; min_len = 2; max_len = 5 } ] ->
+      ()
+    | _ -> Alcotest.fail "type expressions")
+  | _ -> Alcotest.fail "call decl"
+
+let test_parse_resource_dir_suffix () =
+  match parse_one "f(x fd out)" with
+  | Parser.Call { args = [ f ]; _ } -> (
+    match f.Field.fty with
+    | Ty.Res { kind = "fd"; dir = Ty.Out } -> ()
+    | _ -> Alcotest.fail "out direction")
+  | _ -> Alcotest.fail "call decl"
+
+let test_parse_multiple_decls () =
+  let ds = Parser.parse "resource fd[int32]\nopen() fd\nclose(fd fd)\n" in
+  Alcotest.(check int) "three declarations" 3 (List.length ds)
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ src)
+  in
+  expect_error "resource fd";
+  expect_error "f(a int32[7:0])";
+  expect_error "flags x =";
+  expect_error "struct s { }";
+  expect_error "f(a ptr[in])";
+  expect_error "f(a int32) b c"
+
+(* ---- target compilation ---- *)
+
+let compile src = Target.of_string src
+
+let test_compile_minimal () =
+  let t =
+    compile
+      {|
+resource fd[int32]: -1
+open(path filename["/x"]) fd
+close(fd fd)
+|}
+  in
+  Alcotest.(check int) "two syscalls" 2 (Target.n_syscalls t);
+  let o = Target.find_exn t "open" in
+  Alcotest.(check (list string)) "open produces fd" [ "fd" ] (Target.produces t o);
+  let c = Target.find_exn t "close" in
+  Alcotest.(check (list string)) "close consumes fd" [ "fd" ] (Target.consumes t c)
+
+let test_compile_struct_expansion () =
+  let t =
+    compile
+      {|
+resource fd[int32]
+struct req { f fd, n int32 }
+submit(r ptr[in, req])
+|}
+  in
+  let s = Target.find_exn t "submit" in
+  Alcotest.(check (list string)) "resource inside struct consumed" [ "fd" ]
+    (Target.consumes t s)
+
+let test_compile_inheritance () =
+  let t =
+    compile
+      {|
+resource fd[int32]
+resource fd_kvm[fd]
+openkvm() fd_kvm
+close(fd fd)
+|}
+  in
+  Alcotest.(check bool) "fd_kvm subtype of fd" true
+    (Target.is_subtype t ~sub:"fd_kvm" ~sup:"fd");
+  Alcotest.(check bool) "fd not subtype of fd_kvm" false
+    (Target.is_subtype t ~sub:"fd" ~sup:"fd_kvm");
+  Alcotest.(check bool) "compatible for consumer fd" true
+    (Target.compatible t ~consumer:"fd" ~producer:"fd_kvm");
+  (* close accepts the kvm fd through inheritance. *)
+  let consumers = Target.consumers_of t "fd_kvm" in
+  Alcotest.(check bool) "close consumes fd_kvm-compatible" true
+    (List.exists (fun (c : Syscall.t) -> c.Syscall.name = "close") consumers)
+
+let test_compile_errors () =
+  let expect_error src =
+    match compile src with
+    | exception Target.Compile_error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ src)
+  in
+  expect_error "f(a flags[nope])";
+  expect_error "resource a[b]";
+  expect_error "f(a unknown_thing)";
+  expect_error "resource fd[int32]\nopen() fd\nopen() fd";
+  expect_error "f(a len[b])";
+  expect_error "resource fd[int32]\nf() nope"
+
+let test_compile_cycle () =
+  (* Inheritance cycles must be rejected. Parents must be declared, so
+     the cycle is a->b->a. *)
+  match
+    compile "resource a[int32]\nresource b[a]\n"
+  with
+  | t ->
+    Alcotest.(check (option string)) "b parent" (Some "a") (Target.resource_parent t "b")
+  | exception Target.Compile_error _ -> Alcotest.fail "valid chain rejected"
+
+let test_full_target_handlers_align () =
+  (* Every syscall described by a subsystem must have a handler, and
+     every handler must describe a syscall: the dispatcher can never
+     hit ENOSYS for its own descriptions. *)
+  let t = tgt () in
+  let missing = ref [] in
+  Array.iter
+    (fun (c : Syscall.t) ->
+      if Healer_kernel.Kernel.subsystem_of c.Syscall.name = "?" then
+        missing := c.Syscall.name :: !missing)
+    (Target.syscalls t);
+  Alcotest.(check (list string)) "described calls without handler" [] !missing
+
+let test_full_target_sanity () =
+  let t = tgt () in
+  Alcotest.(check bool) "has enough interfaces" true (Target.n_syscalls t > 200);
+  Alcotest.(check bool) "kvm chain present" true
+    (Target.find t "ioctl$KVM_RUN" <> None);
+  let kinds = Target.resource_kinds t in
+  Alcotest.(check bool) "has resources" true (List.length kinds > 20);
+  List.iter
+    (fun kind ->
+      (* producers_of/consumers_of never raise for declared kinds *)
+      ignore (Target.producers_of t kind);
+      ignore (Target.consumers_of t kind))
+    kinds
+
+let test_specialization () =
+  let t = tgt () in
+  let c = Target.find_exn t "ioctl$KVM_RUN" in
+  Alcotest.(check string) "base" "ioctl" c.Syscall.base;
+  Alcotest.(check (option string)) "variant" (Some "KVM_RUN") (Syscall.variant c);
+  Alcotest.(check bool) "is specialization" true (Syscall.is_specialization c);
+  let o = Target.find_exn t "open" in
+  Alcotest.(check bool) "open is not" false (Syscall.is_specialization o)
+
+let test_lint_clean_builtin () =
+  Alcotest.(check (list string)) "built-in target lints clean" []
+    (Target.lint (tgt ()))
+
+let test_lint_findings () =
+  let t =
+    compile
+      {|
+resource fd[int32]: -1
+resource orphan[int32]
+resource sink_only[int32]
+flags unused_flags = 1 2
+struct unreachable_struct { a int32 }
+open() fd
+close(fd fd)
+consume_sink(x sink_only)
+|}
+  in
+  let warnings = Target.lint t in
+  let has needle =
+    List.exists
+      (fun w ->
+        let n = String.length needle and m = String.length w in
+        let rec go i = i + n <= m && (String.sub w i n = needle || go (i + 1)) in
+        go 0)
+      warnings
+  in
+  Alcotest.(check bool) "orphan resource unproduced" true (has "orphan");
+  Alcotest.(check bool) "sink_only unproduced" true (has "sink_only has no producer");
+  Alcotest.(check bool) "unused flags" true (has "unused_flags");
+  Alcotest.(check bool) "unreachable struct" true (has "unreachable_struct");
+  Alcotest.(check bool) "consumer without producer" true
+    (has "consume_sink consumes sink_only")
+
+let test_lint_inheritance_aware () =
+  (* A base kind produced only through a subkind is not a warning. *)
+  let t =
+    compile
+      {|
+resource fd[int32]: -1
+resource fd_dev[fd]
+open_dev() fd_dev
+close(fd fd)
+|}
+  in
+  Alcotest.(check bool) "no fd-has-no-producer warning" false
+    (List.exists
+       (fun w -> w = "resource fd has no producer")
+       (Target.lint t))
+
+let suite =
+  [
+    case "lexer basic" test_lexer_basic;
+    case "lexer $-idents" test_lexer_idents_with_dollar;
+    case "lexer numbers" test_lexer_numbers;
+    case "lexer strings" test_lexer_strings;
+    case "lexer comments" test_lexer_comments;
+    case "lexer bracket newlines" test_lexer_newline_in_brackets;
+    case "lexer blank lines" test_lexer_blank_lines_collapse;
+    case "lexer errors" test_lexer_errors;
+    case "parse resource" test_parse_resource;
+    case "parse flags" test_parse_flags;
+    case "parse struct" test_parse_struct;
+    case "parse call" test_parse_call;
+    case "parse type exprs" test_parse_type_exprs;
+    case "parse dir suffix" test_parse_resource_dir_suffix;
+    case "parse multiple" test_parse_multiple_decls;
+    case "parse errors" test_parse_errors;
+    case "compile minimal" test_compile_minimal;
+    case "compile struct expansion" test_compile_struct_expansion;
+    case "compile inheritance" test_compile_inheritance;
+    case "compile errors" test_compile_errors;
+    case "compile chain" test_compile_cycle;
+    case "full target: handlers align" test_full_target_handlers_align;
+    case "full target: sanity" test_full_target_sanity;
+    case "specializations" test_specialization;
+    case "lint: builtin clean" test_lint_clean_builtin;
+    case "lint: findings" test_lint_findings;
+    case "lint: inheritance aware" test_lint_inheritance_aware;
+  ]
