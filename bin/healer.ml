@@ -5,11 +5,15 @@
      target    print the compiled syscall description summary
      bugs      list the injected vulnerability catalog
      relations learn relations for a while and dump the table
-     compare   head-to-head campaign of two tools *)
+     compare   head-to-head campaign of two tools
+     analyze   static analysis of the description corpus
+     lint      deprecated alias for a subset of analyze *)
 
 module Target = Healer_syzlang.Target
 module Syscall = Healer_syzlang.Syscall
 module K = Healer_kernel
+module Diagnostic = Healer_analysis.Diagnostic
+module Analysis = Healer_analysis.Analysis
 open Healer_core
 open Cmdliner
 
@@ -225,36 +229,88 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Head-to-head campaign of two tools")
     Term.(const run_compare $ tool_arg $ base_arg $ version_arg $ hours_arg $ seed_arg)
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The built-in corpus (with handler drift checks) or a standalone
+   description file. Parse/compile failures of a file are reported as
+   diagnostics by [Analysis.of_source], not raised. *)
+let analysis_input file =
+  or_die (fun () ->
+      match file with
+      | None -> Analysis.of_kernel ()
+      | Some path -> Analysis.of_source ~name:path (read_file path))
+
+let file_pos_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Description file; default: built-in corpus.")
+
+let run_analyze file json list_checks =
+  if list_checks then
+    List.iter
+      (fun (id, sev, doc, pass) ->
+        Fmt.pr "%-26s %-7s %-12s %s@." id
+          (Diagnostic.severity_to_string sev)
+          pass doc)
+      Analysis.all_checks
+  else begin
+    let input = analysis_input file in
+    let ds = Analysis.run input in
+    if json then Fmt.pr "%s@." (Diagnostic.list_to_json ~name:input.Healer_analysis.Pass.name ds)
+    else begin
+      List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds;
+      Fmt.pr "%s: %d errors, %d warnings, %d notes@."
+        input.Healer_analysis.Pass.name
+        (Diagnostic.count Diagnostic.Error ds)
+        (Diagnostic.count Diagnostic.Warning ds)
+        (Diagnostic.count Diagnostic.Info ds)
+    end;
+    if Diagnostic.has_errors ds then exit 1
+  end
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the multi-pass static analyzer (description semantics, \
+          reachability fixpoint, handler drift, static-relation soundness, \
+          corpus hygiene) over a description file or the built-in \
+          19-subsystem corpus. Exits non-zero when any Error-severity \
+          diagnostic is reported.")
+    Term.(
+      const run_analyze $ file_pos_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+      $ Arg.(
+          value & flag
+          & info [ "list-checks" ]
+              ~doc:"List every check ID with its severity and pass, then exit."))
+
+(* Deprecated: kept as a thin alias over the analyzer's lint pass so
+   existing invocations keep working. *)
 let run_lint file =
-  let t =
-    or_die (fun () ->
-        match file with
-        | None -> Healer_kernel.Kernel.target ()
-        | Some path ->
-          let ic = open_in path in
-          let src =
-            Fun.protect
-              ~finally:(fun () -> close_in ic)
-              (fun () -> really_input_string ic (in_channel_length ic))
-          in
-          Target.of_string ~name:path src)
+  Fmt.epr "note: `healer lint` is deprecated; use `healer analyze`@.";
+  let input = analysis_input file in
+  let ds =
+    Analysis.run ~passes:[ Healer_analysis.Lint.pass ] input
+    |> List.filter (fun (d : Diagnostic.t) -> d.Diagnostic.severity <> Diagnostic.Info)
   in
-  match Target.lint t with
-  | [] -> Fmt.pr "%s: no description warnings@." (Target.name t)
-  | warnings -> List.iter (fun w -> Fmt.pr "warning: %s@." w) warnings
+  match ds with
+  | [] -> Fmt.pr "%s: no description warnings@." input.Healer_analysis.Pass.name
+  | ds -> List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds
 
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Check a Syzlang description file (or the built-in target) for \
-          unreachable resources, unused flag sets and producer-less consumers")
-    Term.(
-      const run_lint
-      $ Arg.(
-          value
-          & pos 0 (some file) None
-          & info [] ~docv:"FILE" ~doc:"Description file; default: built-in target."))
+         "Deprecated alias for the corpus-hygiene subset of $(b,analyze): \
+          unreachable resources, unused flag sets and producer-less \
+          consumers.")
+    Term.(const run_lint $ file_pos_arg)
 
 let () =
   let info =
@@ -264,4 +320,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fuzz_cmd; target_cmd; bugs_cmd; relations_cmd; compare_cmd; lint_cmd ]))
+          [
+            fuzz_cmd; target_cmd; bugs_cmd; relations_cmd; compare_cmd;
+            analyze_cmd; lint_cmd;
+          ]))

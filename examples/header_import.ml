@@ -2,9 +2,10 @@
 
    Converts an inline device header into Syzlang with
    Cheader.convert, compiles it together with a hand-written resource
-   prelude, lints the result, and shows what static relation learning
-   infers for the generated interfaces — the workflow the paper
-   proposes for reducing the cost of hand-writing descriptions.
+   prelude, runs the static analyzer over the result, and shows what
+   static relation learning infers for the generated interfaces — the
+   workflow the paper proposes for reducing the cost of hand-writing
+   descriptions.
 
    Run with: dune exec examples/header_import.exe *)
 
@@ -57,11 +58,16 @@ let () =
   let target = Target.of_string ~name:"widget" (prelude ^ generated) in
   Fmt.pr "Compiled: %a@.@." Target.pp_summary target;
 
-  (match Target.lint target with
-  | [] -> Fmt.pr "Lint: clean.@."
-  | warnings ->
-    Fmt.pr "Lint:@.";
-    List.iter (fun w -> Fmt.pr "  warning: %s@." w) warnings);
+  let module A = Healer_analysis in
+  (match
+     A.Analysis.run (A.Analysis.of_source ~name:"widget" (prelude ^ generated))
+     |> List.filter (fun (d : A.Diagnostic.t) ->
+            d.A.Diagnostic.severity <> A.Diagnostic.Info)
+   with
+  | [] -> Fmt.pr "Analyzer: clean.@."
+  | ds ->
+    Fmt.pr "Analyzer:@.";
+    List.iter (fun d -> Fmt.pr "  %a@." A.Diagnostic.pp d) ds);
 
   let table = Static_learning.initial_table target in
   Fmt.pr "@.Static relations inferred for the imported interfaces:@.";

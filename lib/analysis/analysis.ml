@@ -1,0 +1,125 @@
+(* The analyzer entry points: build an [Pass.input] from a source
+   string, a compiled target or the built-in kernel corpus, then run
+   the registered passes and return sorted diagnostics. *)
+
+module Target = Healer_syzlang.Target
+module Parser = Healer_syzlang.Parser
+module Lexer = Healer_syzlang.Lexer
+module Kernel = Healer_kernel.Kernel
+module Subsystem = Healer_kernel.Subsystem
+
+let passes : Pass.t list =
+  [ Semantics.pass; Reachability.pass; Drift.pass; Relations.pass; Lint.pass ]
+
+(* Every (check ID, severity, description, pass name), for docs and
+   `healer analyze --list-checks`. Loader pseudo-checks included. *)
+let all_checks =
+  (("parse-error", Diagnostic.Error, "description does not parse", "loader")
+  :: ("compile-error", Diagnostic.Error, "description does not compile", "loader")
+  :: List.concat_map
+       (fun (p : Pass.t) ->
+         List.map (fun (id, sev, doc) -> (id, sev, doc, p.Pass.pass_name)) p.Pass.checks)
+       passes)
+
+let run ?(passes = passes) (input : Pass.input) =
+  let ds =
+    input.Pass.pre
+    @ List.concat_map (fun (p : Pass.t) -> p.Pass.run input) passes
+  in
+  List.sort_uniq Diagnostic.compare ds
+
+(* ---- input builders ---- *)
+
+let of_target ?(name = "target") target : Pass.input =
+  {
+    name;
+    decls = [];
+    target = Some target;
+    handlers = None;
+    file_ops = [];
+    resolve = (fun line -> Some { Diagnostic.src = None; line });
+    pre = [];
+  }
+
+(* Analyze a description source. Parse and compile failures become
+   diagnostics rather than exceptions, so `healer analyze broken.txt`
+   reports instead of crashing; decl-level checks still run on
+   whatever parsed. *)
+let of_source ?(name = "source") src : Pass.input =
+  let resolve line = Some { Diagnostic.src = Some name; line } in
+  let fail ~check ~line msg =
+    {
+      Pass.name;
+      decls = [];
+      target = None;
+      handlers = None;
+      file_ops = [];
+      resolve;
+      pre =
+        [
+          Diagnostic.v
+            ~pos:{ Diagnostic.src = Some name; line }
+            ~check ~severity:Diagnostic.Error ~subject:name msg;
+        ];
+    }
+  in
+  match Parser.parse_located src with
+  | exception Lexer.Error { line; msg } -> fail ~check:"parse-error" ~line msg
+  | exception Parser.Error { line; msg } -> fail ~check:"parse-error" ~line msg
+  | decls -> (
+    let base : Pass.input =
+      {
+        name;
+        decls;
+        target = None;
+        handlers = None;
+        file_ops = [];
+        resolve;
+        pre = [];
+      }
+    in
+    match Target.compile_located ~name decls with
+    | target -> { base with target = Some target }
+    | exception Target.Compile_error msg ->
+      {
+        base with
+        pre =
+          [
+            Diagnostic.v ~check:"compile-error" ~severity:Diagnostic.Error
+              ~subject:name msg;
+          ];
+      })
+
+(* The full built-in corpus: all subsystem descriptions, the compiled
+   target, the handler tables and file_ops, with positions resolved
+   back to (subsystem, local line). *)
+let of_kernel () : Pass.input =
+  let subs = Kernel.subsystems () in
+  let handlers =
+    List.concat_map
+      (fun (s : Subsystem.t) ->
+        List.map (fun (name, _) -> (name, s.Subsystem.name)) s.Subsystem.handlers)
+      subs
+  in
+  let file_ops =
+    List.concat_map
+      (fun (s : Subsystem.t) ->
+        List.map
+          (fun (fo : Subsystem.file_op) -> (fo.Subsystem.op_name, s.Subsystem.name))
+          s.Subsystem.file_ops)
+      subs
+  in
+  let resolve line =
+    match Kernel.locate_line line with
+    | Some (sub, local) -> Some { Diagnostic.src = Some sub; line = local }
+    | None -> Some { Diagnostic.src = None; line }
+  in
+  {
+    name = "healer-sim";
+    decls = Parser.parse_located (Kernel.source ());
+    target = Some (Kernel.target ());
+    handlers = Some handlers;
+    file_ops;
+    resolve;
+    pre = [];
+  }

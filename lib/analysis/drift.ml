@@ -1,0 +1,90 @@
+(* Pass 3: handler drift.
+
+   Cross-checks the description corpus against the kernel simulator's
+   dispatch tables: every described call needs a registered handler
+   (else the dispatcher answers ENOSYS and the description only wastes
+   fuzzing budget), every registered handler needs a description (else
+   the code is dead), and every file_op should correspond to some
+   described call base. Skipped when the input carries no handler
+   table (standalone description files). *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+open Pass
+
+let checks =
+  [
+    ( "drift-missing-handler",
+      Diagnostic.Error,
+      "described call has no handler in any subsystem" );
+    ( "drift-orphan-handler",
+      Diagnostic.Error,
+      "registered handler has no description" );
+    ( "drift-orphan-fileop",
+      Diagnostic.Warning,
+      "file_op name matches no described call base" );
+  ]
+
+let run input =
+  match (input.target, input.handlers) with
+  | None, _ | _, None -> []
+  | Some t, Some handlers ->
+    let described = Hashtbl.create 256 in
+    let bases = Hashtbl.create 64 in
+    Array.iter
+      (fun (c : Syscall.t) ->
+        Hashtbl.replace described c.Syscall.name ();
+        Hashtbl.replace bases c.Syscall.base ())
+      (Target.syscalls t);
+    let handled = Hashtbl.create 256 in
+    List.iter (fun (name, _) -> Hashtbl.replace handled name ()) handlers;
+    let missing =
+      Array.to_list (Target.syscalls t)
+      |> List.filter_map (fun (c : Syscall.t) ->
+             if Hashtbl.mem handled c.Syscall.name then None
+             else
+               Some
+                 (Diagnostic.vf
+                    ?pos:(decl_pos input `Call c.Syscall.name)
+                    ~check:"drift-missing-handler" ~severity:Diagnostic.Error
+                    ~subject:("call " ^ c.Syscall.name)
+                    "described but no subsystem registers a handler; the \
+                     dispatcher will answer ENOSYS"))
+    in
+    let orphans =
+      List.filter_map
+        (fun (name, sub) ->
+          if Hashtbl.mem described name then None
+          else
+            Some
+              (Diagnostic.vf ~check:"drift-orphan-handler"
+                 ~severity:Diagnostic.Error
+                 ~subject:("handler " ^ name)
+                 "subsystem %s registers a handler, but no description \
+                  declares the call"
+                 sub))
+        handlers
+    in
+    let fileops =
+      List.filter_map
+        (fun (op, sub) ->
+          if Hashtbl.mem bases op then None
+          else
+            Some
+              (Diagnostic.vf ~check:"drift-orphan-fileop"
+                 ~severity:Diagnostic.Warning
+                 ~subject:("file_op " ^ op)
+                 "subsystem %s registers file_op %S, which matches no \
+                  described call base"
+                 sub op))
+        input.file_ops
+    in
+    missing @ orphans @ fileops
+
+let pass =
+  {
+    pass_name = "drift";
+    doc = "description corpus vs kernel handler tables and file_ops";
+    checks;
+    run;
+  }

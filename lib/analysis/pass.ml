@@ -1,0 +1,46 @@
+(* Pass framework: what a pass sees and what a pass is.
+
+   Passes are pure: they read an [input] and return diagnostics. The
+   input bundles the fully-elaborated target with everything a pass
+   may want that the target alone cannot answer — the raw located
+   declarations (for pre-compile checks), the kernel handler tables
+   (for drift checks) and a position resolver mapping a global source
+   line back to a printable origin. *)
+
+module Target = Healer_syzlang.Target
+module Parser = Healer_syzlang.Parser
+
+type input = {
+  name : string;
+  (* Raw declarations with source lines; empty when the target was
+     built programmatically. *)
+  decls : (Parser.decl * int) list;
+  (* None when compilation failed; decl-level checks still run. *)
+  target : Target.t option;
+  (* (call name, subsystem) pairs; None disables handler-drift checks
+     (e.g. when analyzing a standalone description file). *)
+  handlers : (string * string) list option;
+  (* (file_op name, subsystem) pairs. *)
+  file_ops : (string * string) list;
+  (* Maps a global decl line to a printable position. *)
+  resolve : int -> Diagnostic.pos option;
+  (* Diagnostics produced while loading (parse/compile failures). *)
+  pre : Diagnostic.t list;
+}
+
+type t = {
+  pass_name : string;
+  doc : string;
+  checks : (string * Diagnostic.severity * string) list;
+      (* (check ID, severity, one-line description) *)
+  run : input -> Diagnostic.t list;
+}
+
+(* Position of a declaration, via the target's decl table. *)
+let decl_pos input kind name =
+  match input.target with
+  | None -> None
+  | Some t -> Option.bind (Target.decl_line t kind name) input.resolve
+
+(* Position of a located declaration from the raw decl list. *)
+let line_pos input line = if line > 0 then input.resolve line else None

@@ -1,0 +1,113 @@
+(* Pass 2: reachability fixpoint (syzkaller's "enabled calls" analysis).
+
+   A call is enabled when every resource kind it consumes can be
+   produced by some already-enabled call (inheritance-aware). The seed
+   set is the calls that consume nothing. Calls outside the fixpoint
+   can only ever run with special/garbage resource values, and
+   resources outside it can never hold a live value — both silently
+   weaken relation learning. *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+open Pass
+
+let checks =
+  [
+    ( "reach-unreachable-call",
+      Diagnostic.Warning,
+      "call can never have all resource inputs satisfied" );
+    ( "reach-unproducible-resource",
+      Diagnostic.Warning,
+      "consumed resource kind is never produced by a reachable call" );
+  ]
+
+(* Returns (enabled flags indexed by call id, producible kind set). *)
+let enabled_set t =
+  let calls = Target.syscalls t in
+  let n = Array.length calls in
+  let enabled = Array.make n false in
+  let available : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let can_consume kind =
+    Hashtbl.fold
+      (fun p () acc -> acc || Target.compatible t ~consumer:kind ~producer:p)
+      available false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (c : Syscall.t) ->
+        if
+          (not enabled.(c.Syscall.id))
+          && List.for_all can_consume (Target.consumes t c)
+        then begin
+          enabled.(c.Syscall.id) <- true;
+          List.iter
+            (fun k ->
+              if not (Hashtbl.mem available k) then begin
+                Hashtbl.replace available k ();
+                changed := true
+              end)
+            (Target.produces t c);
+          changed := true
+        end)
+      calls
+  done;
+  (enabled, available)
+
+let run input =
+  match input.target with
+  | None -> []
+  | Some t ->
+    let enabled, available = enabled_set t in
+    let producible kind =
+      Hashtbl.fold
+        (fun p () acc -> acc || Target.compatible t ~consumer:kind ~producer:p)
+        available false
+    in
+    let calls =
+      Array.to_list (Target.syscalls t)
+      |> List.filter_map (fun (c : Syscall.t) ->
+             if enabled.(c.Syscall.id) then None
+             else
+               let missing =
+                 List.filter (fun k -> not (producible k)) (Target.consumes t c)
+               in
+               Some
+                 (Diagnostic.vf
+                    ?pos:(decl_pos input `Call c.Syscall.name)
+                    ~check:"reach-unreachable-call"
+                    ~severity:Diagnostic.Warning
+                    ~subject:("call " ^ c.Syscall.name)
+                    "no call sequence can satisfy its inputs (missing: %s)"
+                    (String.concat ", " missing)))
+    in
+    let kinds =
+      Target.resource_kinds t
+      |> List.filter_map (fun kind ->
+             let consumed_by_someone =
+               Array.exists
+                 (fun (c : Syscall.t) ->
+                   List.exists
+                     (fun k -> Target.compatible t ~consumer:k ~producer:kind)
+                     (Target.consumes t c))
+                 (Target.syscalls t)
+             in
+             if consumed_by_someone && not (producible kind) then
+               Some
+                 (Diagnostic.vf
+                    ?pos:(decl_pos input `Resource kind)
+                    ~check:"reach-unproducible-resource"
+                    ~severity:Diagnostic.Warning ~subject:("resource " ^ kind)
+                    "consumed, but no reachable call produces it")
+             else None)
+    in
+    calls @ kinds
+
+let pass =
+  {
+    pass_name = "reachability";
+    doc = "transitively-enabled call set and producible resource kinds";
+    checks;
+    run;
+  }

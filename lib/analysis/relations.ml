@@ -1,0 +1,94 @@
+(* Pass 4: static-relation soundness.
+
+   The static relation table (HEALER §4.1) is the seed for everything
+   the fuzzer learns, so every edge must be actionable: both endpoints
+   reachable per the enabled-calls fixpoint. The pass also reports
+   density statistics — the paper's Table 3 reports ~5878 relations
+   over 3579 calls, a sparse graph, so a dense table means the static
+   rule degenerated into noise. *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module Static_learning = Healer_core.Static_learning
+module Relation_table = Healer_core.Relation_table
+open Pass
+
+(* Paper reference sparsity: 5878 edges / 3579 calls. Anything an
+   order of magnitude denser than that per-pair rate scaled to small
+   targets is suspicious; 15% of all ordered pairs is far beyond it. *)
+let dense_threshold = 0.15
+
+let checks =
+  [
+    ( "rel-unreachable-producer",
+      Diagnostic.Warning,
+      "static relation edge with an unreachable endpoint" );
+    ( "rel-dense",
+      Diagnostic.Warning,
+      "static relation table is implausibly dense vs the paper's sparsity" );
+    ("rel-density", Diagnostic.Info, "static relation table statistics");
+  ]
+
+let run input =
+  match input.target with
+  | None -> []
+  | Some t ->
+    let table = Static_learning.initial_table t in
+    let enabled, _ = Reachability.enabled_set t in
+    let edges =
+      List.filter_map
+        (fun (a, b) ->
+          let pa = Target.syscall t a and cb = Target.syscall t b in
+          let dead =
+            (if enabled.(a) then [] else [ pa.Syscall.name ])
+            @ if enabled.(b) then [] else [ cb.Syscall.name ]
+          in
+          if dead = [] then None
+          else
+            Some
+              (Diagnostic.vf
+                 ?pos:(decl_pos input `Call pa.Syscall.name)
+                 ~check:"rel-unreachable-producer"
+                 ~severity:Diagnostic.Warning
+                 ~subject:
+                   (Printf.sprintf "relation %s -> %s" pa.Syscall.name
+                      cb.Syscall.name)
+                 "edge endpoint(s) unreachable: %s"
+                 (String.concat ", " dead)))
+        (Relation_table.edges table)
+    in
+    let n = Target.n_syscalls t in
+    let count = Relation_table.count table in
+    let pairs = n * (n - 1) in
+    let density = if pairs = 0 then 0.0 else float_of_int count /. float_of_int pairs in
+    let stats =
+      Diagnostic.vf ~check:"rel-density" ~severity:Diagnostic.Info
+        ~subject:"relation table"
+        "%d static relations over %d calls (%.2f%% of ordered pairs, %.1f per \
+         call); paper: ~5878 relations / 3579 calls"
+        count n (100.0 *. density)
+        (if n = 0 then 0.0 else float_of_int count /. float_of_int n)
+    in
+    (* Tiny targets are naturally dense (a handful of calls around one
+       resource), so the sparsity expectation only binds at scale. *)
+    let dense =
+      if density > dense_threshold && n >= 8 then
+        [
+          Diagnostic.vf ~check:"rel-dense" ~severity:Diagnostic.Warning
+            ~subject:"relation table"
+            "density %.1f%% exceeds %.0f%%: the static rule degenerated into \
+             noise (paper tables are sparse)"
+            (100.0 *. density)
+            (100.0 *. dense_threshold);
+        ]
+      else []
+    in
+    edges @ dense @ [ stats ]
+
+let pass =
+  {
+    pass_name = "relations";
+    doc = "static relation table soundness and density";
+    checks;
+    run;
+  }

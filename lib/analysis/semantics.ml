@@ -1,0 +1,369 @@
+(* Pass 1: deep description semantics.
+
+   Checks the typed structure of every declaration beyond what
+   Target.compile enforces. Everything here is a silent-corruption
+   hazard for relation learning: a Len that never resolves generates
+   garbage lengths, a mis-directed resource flips produce/consume
+   edges, an unboxed struct cycle has infinite size, and an
+   out-of-width range can never be generated faithfully. *)
+
+module Ty = Healer_syzlang.Ty
+module Field = Healer_syzlang.Field
+module Target = Healer_syzlang.Target
+module Parser = Healer_syzlang.Parser
+module Syscall = Healer_syzlang.Syscall
+open Pass
+
+let checks =
+  [
+    ( "sem-dup-spec",
+      Diagnostic.Error,
+      "duplicate call, struct, union, flags or resource declaration" );
+    ( "sem-res-special-width",
+      Diagnostic.Error,
+      "resource special value does not fit its builtin integer parent" );
+    ( "sem-len-target",
+      Diagnostic.Error,
+      "len[] does not name a resolvable sibling field" );
+    ( "sem-dir-conflict",
+      Diagnostic.Error,
+      "resource direction contradicts the enclosing pointer direction" );
+    ( "sem-struct-cycle",
+      Diagnostic.Error,
+      "struct/union reference cycle without pointer indirection" );
+    ( "sem-int-range",
+      Diagnostic.Error,
+      "integer range does not fit the declared width" );
+    ( "sem-const-width",
+      Diagnostic.Error,
+      "ioctl command constant exceeds 32 bits" );
+  ]
+
+(* ---- decl-level checks (run even when compilation failed) ---- *)
+
+let builtin_bits = function
+  | "int8" -> Some 8
+  | "int16" -> Some 16
+  | "int32" -> Some 32
+  | "int64" | "intptr" -> Some 64
+  | _ -> None
+
+let fits_width bits v =
+  bits >= 64
+  || Int64.compare v (Int64.neg (Int64.shift_left 1L (bits - 1))) >= 0
+     && Int64.compare v (Int64.sub (Int64.shift_left 1L bits) 1L) <= 0
+
+let decl_name = function
+  | Parser.Resource { name; _ } -> ("resource", name)
+  | Parser.Flagset { name; _ } -> ("flags", name)
+  | Parser.Structdef { name; _ } -> ("struct", name)
+  | Parser.Uniondef { name; _ } -> ("union", name)
+  | Parser.Call { name; _ } -> ("call", name)
+
+let check_duplicates input =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (decl, line) ->
+      let kind, name = decl_name decl in
+      let key = kind ^ ":" ^ name in
+      match Hashtbl.find_opt seen key with
+      | None ->
+        Hashtbl.add seen key line;
+        None
+      | Some first ->
+        Some
+          (Diagnostic.vf
+             ?pos:(line_pos input line)
+             ~check:"sem-dup-spec" ~severity:Diagnostic.Error
+             ~subject:(kind ^ " " ^ name)
+             "duplicate declaration of %s %s (first at line %d)" kind name
+             first))
+    input.decls
+
+let check_special_widths input =
+  List.concat_map
+    (fun (decl, line) ->
+      match decl with
+      | Parser.Resource { name; parent; values } -> (
+        match builtin_bits parent with
+        | None -> []
+        | Some bits ->
+          List.filter_map
+            (fun v ->
+              if fits_width bits v then None
+              else
+                Some
+                  (Diagnostic.vf
+                     ?pos:(line_pos input line)
+                     ~check:"sem-res-special-width" ~severity:Diagnostic.Error
+                     ~subject:("resource " ^ name)
+                     "special value %Ld does not fit parent %s" v parent))
+            values)
+      | _ -> [])
+    input.decls
+
+(* ---- target-level checks ---- *)
+
+(* Every field group in the target: call argument lists plus struct and
+   union bodies, each with the decl position kind used to locate it. *)
+let groups t : (Target.decl_kind * string * Field.t list) list =
+  let calls =
+    Array.to_list (Target.syscalls t)
+    |> List.map (fun (c : Syscall.t) -> (`Call, c.Syscall.name, c.Syscall.args))
+  in
+  let structs =
+    List.map (fun n -> (`Struct, n, Target.struct_fields t n)) (Target.struct_names t)
+  in
+  let unions =
+    List.map (fun n -> (`Union, n, Target.union_fields t n)) (Target.union_names t)
+  in
+  calls @ structs @ unions
+
+let kind_label : Target.decl_kind -> string = function
+  | `Call -> "call"
+  | `Struct -> "struct"
+  | `Union -> "union"
+  | `Flags -> "flags"
+  | `Resource -> "resource"
+
+(* A Len only resolves when it sits directly at field position and its
+   target names a sibling in the same group (see Value_gen.resolve_lens,
+   which is the single consumer of this contract). *)
+let check_len_targets input t =
+  let out = ref [] in
+  let emit ?pos ~subject fmt = Fmt.kstr
+      (fun m ->
+        out :=
+          Diagnostic.v ?pos ~check:"sem-len-target" ~severity:Diagnostic.Error
+            ~subject m
+          :: !out)
+      fmt
+  in
+  List.iter
+    (fun (kind, gname, fields) ->
+      let pos = decl_pos input kind gname in
+      let subject = kind_label kind ^ " " ^ gname in
+      let siblings = List.map (fun (f : Field.t) -> f.Field.fname) fields in
+      List.iter
+        (fun (f : Field.t) ->
+          (* Direct Len: target must be a sibling. *)
+          (match f.Field.fty with
+          | Ty.Len target when not (List.mem target siblings) ->
+            emit ?pos ~subject "len[%s] in field %s does not name a sibling"
+              target f.Field.fname
+          | _ -> ());
+          (* Nested Len (under ptr/array at any depth) never resolves. *)
+          let rec nested depth (ty : Ty.t) =
+            match ty with
+            | Ty.Len target when depth > 0 ->
+              emit ?pos ~subject
+                "len[%s] in field %s is nested under ptr/array and can never \
+                 resolve"
+                target f.Field.fname
+            | Ty.Ptr { elem; _ } -> nested (depth + 1) elem
+            | Ty.Array { elem; _ } -> nested (depth + 1) elem
+            | _ -> ()
+          in
+          nested 0 f.Field.fty)
+        fields)
+    (groups t);
+  !out
+
+(* Directions of resources reachable from a struct/union body without
+   crossing a pointer (a nested pointer re-anchors direction). Used to
+   catch conflicts across a struct boundary: ptr[in, s] where s holds a
+   Res Out is exactly the case Target.collect_res_deep silently
+   overrides. *)
+let exposed_dirs t =
+  let memo = Hashtbl.create 32 in
+  let rec of_name fuel name fields =
+    match Hashtbl.find_opt memo name with
+    | Some dirs -> dirs
+    | None when fuel = 0 -> []
+    | None ->
+      let dirs =
+        List.concat_map (fun (f : Field.t) -> of_ty (fuel - 1) f.Field.fty) fields
+      in
+      Hashtbl.replace memo name dirs;
+      dirs
+  and of_ty fuel (ty : Ty.t) =
+    match ty with
+    | Ty.Res { dir; _ } -> [ dir ]
+    | Ty.Array { elem; _ } -> of_ty fuel elem
+    | Ty.Struct_ref n when fuel > 0 -> of_name fuel n (Target.struct_fields t n)
+    | Ty.Union_ref n when fuel > 0 -> of_name fuel n (Target.union_fields t n)
+    | _ -> []
+  in
+  fun name fields -> of_name 8 name fields
+
+let opposite a b =
+  match (a, b) with Ty.In, Ty.Out | Ty.Out, Ty.In -> true | _ -> false
+
+let check_dir_conflicts input t =
+  let exposed = exposed_dirs t in
+  let out = ref [] in
+  let conflict ~pos ~subject ~fname ptr_dir res_dir via =
+    out :=
+      Diagnostic.vf ?pos ~check:"sem-dir-conflict" ~severity:Diagnostic.Error
+        ~subject "field %s: resource marked %a under ptr[%a%s] is never %s"
+        fname Ty.pp_dir res_dir Ty.pp_dir ptr_dir via
+        (match res_dir with Ty.Out -> "written back" | _ -> "read")
+      :: !out
+  in
+  List.iter
+    (fun (kind, gname, fields) ->
+      let pos = decl_pos input kind gname in
+      let subject = kind_label kind ^ " " ^ gname in
+      List.iter
+        (fun (f : Field.t) ->
+          let rec walk ptr_dir (ty : Ty.t) =
+            match ty with
+            | Ty.Res { dir; _ } -> (
+              match ptr_dir with
+              | Some pd when opposite pd dir ->
+                conflict ~pos ~subject ~fname:f.Field.fname pd dir ""
+              | _ -> ())
+            | Ty.Ptr { dir; elem } -> walk (Some dir) elem
+            | Ty.Array { elem; _ } -> walk ptr_dir elem
+            | Ty.Struct_ref n -> (
+              match ptr_dir with
+              | Some pd ->
+                List.iter
+                  (fun d ->
+                    if opposite pd d then
+                      conflict ~pos ~subject ~fname:f.Field.fname pd d
+                        (", " ^ n))
+                  (List.sort_uniq Stdlib.compare
+                     (exposed n (Target.struct_fields t n)))
+              | None -> ())
+            | Ty.Union_ref n -> (
+              match ptr_dir with
+              | Some pd ->
+                List.iter
+                  (fun d ->
+                    if opposite pd d then
+                      conflict ~pos ~subject ~fname:f.Field.fname pd d
+                        (", " ^ n))
+                  (List.sort_uniq Stdlib.compare
+                     (exposed n (Target.union_fields t n)))
+              | None -> ())
+            | _ -> ()
+          in
+          walk None f.Field.fty)
+        fields)
+    (groups t);
+  !out
+
+(* Struct/union references reachable without pointer indirection form a
+   DAG in any finite-size layout; a cycle means infinite inline size. *)
+let check_struct_cycles input t =
+  let members name =
+    try Target.struct_fields t name
+    with _ -> ( try Target.union_fields t name with _ -> [])
+  in
+  let rec inline_refs acc (ty : Ty.t) =
+    match ty with
+    | Ty.Struct_ref n | Ty.Union_ref n -> n :: acc
+    | Ty.Array { elem; _ } -> inline_refs acc elem
+    | _ -> acc
+  in
+  let succ name =
+    List.concat_map
+      (fun (f : Field.t) -> inline_refs [] f.Field.fty)
+      (members name)
+  in
+  let all = Target.struct_names t @ Target.union_names t in
+  let reported = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec dfs path name =
+    if List.mem name path then begin
+      (* Cycle: the suffix of [path] from [name]. *)
+      let rec cycle = function
+        | [] -> []
+        | x :: rest -> if x = name then [ x ] else x :: cycle rest
+      in
+      let members = List.sort_uniq String.compare (name :: cycle path) in
+      let key = String.concat "->" members in
+      if not (Hashtbl.mem reported key) then begin
+        Hashtbl.add reported key ();
+        let is_struct = List.mem name (Target.struct_names t) in
+        let kind : Target.decl_kind = if is_struct then `Struct else `Union in
+        out :=
+          Diagnostic.vf
+            ?pos:(decl_pos input kind name)
+            ~check:"sem-struct-cycle" ~severity:Diagnostic.Error
+            ~subject:((if is_struct then "struct " else "union ") ^ name)
+            "reference cycle without pointer indirection: %s"
+            (String.concat " -> " (List.sort_uniq String.compare members))
+          :: !out
+      end
+    end
+    else List.iter (dfs (name :: path)) (succ name)
+  in
+  List.iter (dfs []) all;
+  !out
+
+let check_int_ranges input t =
+  let out = ref [] in
+  List.iter
+    (fun (kind, gname, fields) ->
+      let pos = decl_pos input kind gname in
+      let subject = kind_label kind ^ " " ^ gname in
+      List.iter
+        (fun (f : Field.t) ->
+          let rec walk (ty : Ty.t) =
+            match ty with
+            | Ty.Int { bits; range = Some (lo, hi) }
+              when bits < 64 && not (fits_width bits lo && fits_width bits hi)
+              ->
+              out :=
+                Diagnostic.vf ?pos ~check:"sem-int-range"
+                  ~severity:Diagnostic.Error ~subject
+                  "field %s: range [%Ld:%Ld] does not fit int%d" f.Field.fname
+                  lo hi bits
+                :: !out
+            | Ty.Ptr { elem; _ } -> walk elem
+            | Ty.Array { elem; _ } -> walk elem
+            | _ -> ()
+          in
+          walk f.Field.fty)
+        fields)
+    (groups t);
+  !out
+
+(* Real ioctl commands are u32; a wider cmd constant means the
+   specialization can never match the kernel's switch. *)
+let check_const_widths input t =
+  Array.to_list (Target.syscalls t)
+  |> List.concat_map (fun (c : Syscall.t) ->
+         if not (String.equal c.Syscall.base "ioctl") then []
+         else
+           match c.Syscall.args with
+           | _ :: { Field.fname; fty = Ty.Const v } :: _
+             when Int64.compare v 0L < 0
+                  || Int64.compare v 0xFFFFFFFFL > 0 ->
+             [
+               Diagnostic.vf
+                 ?pos:(decl_pos input `Call c.Syscall.name)
+                 ~check:"sem-const-width" ~severity:Diagnostic.Error
+                 ~subject:("call " ^ c.Syscall.name)
+                 "ioctl command constant %s = 0x%Lx does not fit u32" fname v;
+             ]
+           | _ -> [])
+
+let run input =
+  let decl_level = check_duplicates input @ check_special_widths input in
+  match input.target with
+  | None -> decl_level
+  | Some t ->
+    decl_level @ check_len_targets input t @ check_dir_conflicts input t
+    @ check_struct_cycles input t @ check_int_ranges input t
+    @ check_const_widths input t
+
+let pass =
+  {
+    pass_name = "semantics";
+    doc = "deep description semantics beyond what compilation enforces";
+    checks;
+    run;
+  }

@@ -25,17 +25,41 @@ let all_subsystems =
 
 let subsystems () = Lazy.force all_subsystems
 
+(* The full description corpus, one subsystem after another. Line
+   numbers in the concatenation are resolvable back to a subsystem via
+   [locate_line]. *)
+let source () =
+  String.concat "\n"
+    (List.map (fun (s : Subsystem.t) -> s.descriptions) (subsystems ()))
+
+let count_lines s =
+  1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+(* (subsystem, first global line, line count) per description block. *)
+let line_index =
+  lazy
+    (let rec build start = function
+       | [] -> []
+       | (s : Subsystem.t) :: rest ->
+         let n = count_lines s.descriptions in
+         (s.name, start, n) :: build (start + n) rest
+     in
+     build 1 (subsystems ()))
+
+let locate_line global =
+  List.find_map
+    (fun (name, start, n) ->
+      if global >= start && global < start + n then Some (name, global - start + 1)
+      else None)
+    (Lazy.force line_index)
+
 let target_memo = ref None
 
 let target () =
   match !target_memo with
   | Some t -> t
   | None ->
-    let src =
-      String.concat "\n"
-        (List.map (fun (s : Subsystem.t) -> s.descriptions) (subsystems ()))
-    in
-    let t = Target.of_string ~name:"healer-sim" src in
+    let t = Target.of_string ~name:"healer-sim" (source ()) in
     target_memo := Some t;
     t
 

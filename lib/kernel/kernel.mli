@@ -14,6 +14,16 @@ val subsystems : unit -> Subsystem.t list
 val target : unit -> Healer_syzlang.Target.t
 (** The compiled description set (memoized; identical across boots). *)
 
+val source : unit -> string
+(** The full Syzlang corpus: every subsystem's descriptions
+    concatenated in registration order — exactly what {!target}
+    compiles. *)
+
+val locate_line : int -> (string * int) option
+(** Map a 1-based line of {!source} back to [(subsystem, local line)].
+    [None] for lines past the end. Lets analysis diagnostics point at
+    the subsystem that owns a declaration. *)
+
 val subsystem_of : string -> string
 (** [subsystem_of syscall_name] is the name of the subsystem whose
     handler serves the call, or ["?"] for unknown names. Used by the

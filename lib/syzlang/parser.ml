@@ -256,7 +256,9 @@ let parse_decl cur =
   | Lexer.IDENT name, _ -> parse_call cur name
   | t, l -> fail l (Fmt.str "expected a declaration, got %a" Lexer.pp_token t)
 
-let parse src =
+(* Like [parse], but each declaration carries the 1-based source line it
+   starts on, for diagnostics downstream. *)
+let parse_located src =
   let cur = { toks = Lexer.tokenize src } in
   let rec go acc =
     match peek cur with
@@ -264,14 +266,16 @@ let parse src =
     | Lexer.NEWLINE, _ ->
       advance cur;
       go acc
-    | _ ->
+    | _, line ->
       let d = parse_decl cur in
       (match next cur with
       | Lexer.NEWLINE, _ | Lexer.EOF, _ -> ()
       | t, l -> fail l (Fmt.str "trailing tokens after declaration: %a" Lexer.pp_token t));
-      go (d :: acc)
+      go ((d, line) :: acc)
   in
   go []
+
+let parse src = List.map fst (parse_located src)
 
 let pp_decl ppf = function
   | Resource { name; parent; values = [] } ->

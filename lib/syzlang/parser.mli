@@ -36,4 +36,8 @@ exception Error of { line : int; msg : string }
 val parse : string -> decl list
 (** Raises {!Error} or {!Lexer.Error} on malformed input. *)
 
+val parse_located : string -> (decl * int) list
+(** Like {!parse}, with the 1-based source line each declaration starts
+    on, for diagnostics. *)
+
 val pp_decl : Format.formatter -> decl -> unit

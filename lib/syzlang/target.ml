@@ -13,7 +13,24 @@ type t = {
   consumed : string list array;
   producers : (string, Syscall.t list) Hashtbl.t;
   consumers : (string, Syscall.t list) Hashtbl.t;
+  (* Source line of each declaration, keyed by "kind:name" (kinds:
+     call, struct, union, flags, resource). Empty when the target was
+     compiled from bare declarations without positions. *)
+  positions : (string, int) Hashtbl.t;
 }
+
+type decl_kind = [ `Call | `Struct | `Union | `Flags | `Resource ]
+
+let decl_key (kind : decl_kind) name =
+  let k =
+    match kind with
+    | `Call -> "call"
+    | `Struct -> "struct"
+    | `Union -> "union"
+    | `Flags -> "flags"
+    | `Resource -> "resource"
+  in
+  k ^ ":" ^ name
 
 exception Compile_error of string
 
@@ -144,31 +161,45 @@ let is_subtype t ~sub ~sup =
 
 let compatible t ~consumer ~producer = is_subtype t ~sub:producer ~sup:consumer
 
-let compile ?(name = "sim") decls =
+let compile_located ?(name = "sim") ldecls =
   let flagsets = Hashtbl.create 64 in
   let structs : (string, Field.t list) Hashtbl.t = Hashtbl.create 64 in
   let unions : (string, Field.t list) Hashtbl.t = Hashtbl.create 16 in
   let resources = Hashtbl.create 64 in
+  let positions = Hashtbl.create 256 in
   let raw_calls = ref [] in
   let add_unique table what key value =
     if Hashtbl.mem table key then error "duplicate %s %s" what key;
     Hashtbl.add table key value
   in
+  let record kind dname line =
+    if line > 0 && not (Hashtbl.mem positions (decl_key kind dname)) then
+      Hashtbl.add positions (decl_key kind dname) line
+  in
   (* Pass 1: collect declarations. *)
-  let collect = function
+  let collect (decl, line) =
+    match decl with
     | Parser.Resource { name; parent; values } ->
       let parent_res =
         if List.mem parent builtin_int_parents then None else Some parent
       in
+      record `Resource name line;
       add_unique resources "resource" name
         { parent = parent_res; special = Array.of_list values }
     | Parser.Flagset { name; values } ->
+      record `Flags name line;
       add_unique flagsets "flag set" name (Array.of_list values)
-    | Parser.Structdef { name; fields } -> add_unique structs "struct" name fields
-    | Parser.Uniondef { name; fields } -> add_unique unions "union" name fields
-    | Parser.Call { name; args; ret } -> raw_calls := (name, args, ret) :: !raw_calls
+    | Parser.Structdef { name; fields } ->
+      record `Struct name line;
+      add_unique structs "struct" name fields
+    | Parser.Uniondef { name; fields } ->
+      record `Union name line;
+      add_unique unions "union" name fields
+    | Parser.Call { name; args; ret } ->
+      record `Call name line;
+      raw_calls := (name, args, ret) :: !raw_calls
   in
-  List.iter collect decls;
+  List.iter collect ldecls;
   (* Resource parents must exist. *)
   Hashtbl.iter
     (fun rname { parent; _ } ->
@@ -226,6 +257,7 @@ let compile ?(name = "sim") decls =
       consumed = Array.make (Array.length calls) [];
       producers = Hashtbl.create 64;
       consumers = Hashtbl.create 64;
+      positions;
     }
   in
   (* Pass 3: validate types now that every table is final. *)
@@ -267,7 +299,12 @@ let compile ?(name = "sim") decls =
     kinds;
   t
 
-let of_string ?name src = compile ?name (Parser.parse src)
+let compile ?name decls =
+  compile_located ?name (List.map (fun d -> (d, 0)) decls)
+
+let of_string ?name src = compile_located ?name (Parser.parse_located src)
+
+let decl_line t kind dname = Hashtbl.find_opt t.positions (decl_key kind dname)
 
 let name t = t.tname
 let n_syscalls t = Array.length t.calls
@@ -299,6 +336,13 @@ let union_fields t name =
 let resource_kinds t =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.resources [])
 
+let sorted_keys tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let struct_names t = sorted_keys t.structs
+let union_names t = sorted_keys t.unions
+let flagset_names t = sorted_keys t.flagsets
+
 let resource_parent t kind =
   match Hashtbl.find_opt t.resources kind with
   | Some { parent; _ } -> parent
@@ -322,20 +366,32 @@ let consumers_of t kind =
   | Some cs -> cs
   | None -> error "unknown resource %s" kind
 
-(* Collect every type node reachable from a call's arguments. *)
-let rec iter_ty t f (ty : Ty.t) =
-  f ty;
-  match ty with
-  | Ty.Ptr { elem; _ } -> iter_ty t f elem
-  | Ty.Array { elem; _ } -> iter_ty t f elem
-  | Ty.Struct_ref name ->
-    List.iter (fun (fl : Field.t) -> iter_ty t f fl.Field.fty) (struct_fields t name)
-  | Ty.Union_ref name ->
-    List.iter (fun (fl : Field.t) -> iter_ty t f fl.Field.fty) (union_fields t name)
-  | Ty.Int _ | Ty.Const _ | Ty.Flags _ | Ty.Len _ | Ty.Proc _ | Ty.Buffer _
-  | Ty.Str _ | Ty.Filename _ | Ty.Res _ | Ty.Vma ->
-    ()
+(* Collect every type node reachable from a call's arguments. Each
+   struct/union body is entered once per traversal, so self-referential
+   layouts (legal behind a pointer) terminate. *)
+let iter_ty t f ty =
+  let seen = Hashtbl.create 8 in
+  let enter key = if Hashtbl.mem seen key then false else (Hashtbl.add seen key (); true) in
+  let rec go (ty : Ty.t) =
+    f ty;
+    match ty with
+    | Ty.Ptr { elem; _ } -> go elem
+    | Ty.Array { elem; _ } -> go elem
+    | Ty.Struct_ref name ->
+      if enter ("s:" ^ name) then
+        List.iter (fun (fl : Field.t) -> go fl.Field.fty) (struct_fields t name)
+    | Ty.Union_ref name ->
+      if enter ("u:" ^ name) then
+        List.iter (fun (fl : Field.t) -> go fl.Field.fty) (union_fields t name)
+    | Ty.Int _ | Ty.Const _ | Ty.Flags _ | Ty.Len _ | Ty.Proc _ | Ty.Buffer _
+    | Ty.Str _ | Ty.Filename _ | Ty.Res _ | Ty.Vma ->
+      ()
+  in
+  go ty
 
+(* Superseded by the [Healer_analysis] pass framework, which reports
+   the same findings with stable check IDs, severities and source
+   positions. Kept only for out-of-tree callers. *)
 let lint t =
   let warnings = ref [] in
   let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
@@ -408,6 +464,7 @@ let lint t =
         t.consumed.(c.id))
     t.calls;
   List.sort String.compare !warnings
+[@@ocaml.deprecated "use the Healer_analysis passes instead"]
 
 let pp_summary ppf t =
   Fmt.pf ppf "target %s: %d syscalls, %d resources, %d flag sets, %d structs"

@@ -13,9 +13,19 @@ exception Compile_error of string
 val compile : ?name:string -> Parser.decl list -> t
 (** Raises {!Compile_error} on invalid declarations. *)
 
+val compile_located : ?name:string -> (Parser.decl * int) list -> t
+(** Like {!compile}, recording each declaration's source line for
+    {!decl_line}. Lines [<= 0] mean "unknown" and are not recorded. *)
+
 val of_string : ?name:string -> string -> t
-(** Lex + parse + {!compile}. Raises {!Compile_error}, {!Parser.Error} or
-    {!Lexer.Error}. *)
+(** Lex + parse + {!compile_located}. Raises {!Compile_error},
+    {!Parser.Error} or {!Lexer.Error}. *)
+
+type decl_kind = [ `Call | `Struct | `Union | `Flags | `Resource ]
+
+val decl_line : t -> decl_kind -> string -> int option
+(** Source line the named declaration starts on, when the target was
+    compiled from located declarations (e.g. via {!of_string}). *)
 
 val name : t -> string
 val n_syscalls : t -> int
@@ -36,6 +46,10 @@ val union_fields : t -> string -> Field.t list
 
 val resource_kinds : t -> string list
 (** All declared resource kind names, sorted. *)
+
+val struct_names : t -> string list
+val union_names : t -> string list
+val flagset_names : t -> string list
 
 val resource_parent : t -> string -> string option
 (** Parent resource kind, or [None] if the parent is a builtin integer. *)
@@ -64,9 +78,14 @@ val producers_of : t -> string -> Syscall.t list
 val consumers_of : t -> string -> Syscall.t list
 (** Calls consuming a kind compatible with the given producer kind. *)
 
+val iter_ty : t -> (Ty.t -> unit) -> Ty.t -> unit
+(** Apply a function to every type node reachable from a type,
+    expanding struct/union references. *)
+
 val pp_summary : Format.formatter -> t -> unit
 
 val lint : t -> string list
+  [@@ocaml.deprecated "use the Healer_analysis passes instead"]
 (** Description-quality diagnostics, addressing the paper's Section 8
     concern that hand-written descriptions are neither complete nor
     correct. Reported (as human-readable warnings):
@@ -75,4 +94,8 @@ val lint : t -> string list
     - resource kinds nothing consumes (producing them is pointless);
     - flag sets no call references;
     - structs/unions no call reaches;
-    - calls consuming a kind that has no producer. *)
+    - calls consuming a kind that has no producer.
+
+    @deprecated Superseded by the [Healer_analysis] pass framework
+    (the [lint-*] checks), which adds severities, stable check IDs and
+    source positions. *)

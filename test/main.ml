@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("syzlang", Test_syzlang.suite);
+      ("analysis", Test_analysis.suite);
       ("cheader", Test_cheader.suite);
       ("executor", Test_executor.suite);
       ("bugs", Test_bugs.suite);

@@ -1,0 +1,336 @@
+(* Static-analysis library tests: one deliberately-broken fixture per
+   check ID, plus a golden test asserting the built-in kernel corpus is
+   analyzer-clean. *)
+
+module A = Healer_analysis.Analysis
+module D = Healer_analysis.Diagnostic
+module P = Healer_analysis.Pass
+
+let analyze ?(name = "fixture") src = A.run (A.of_source ~name src)
+
+let has check ds =
+  List.exists (fun (d : D.t) -> String.equal d.D.check check) ds
+
+let expect check ds =
+  if not (has check ds) then
+    Alcotest.fail
+      (Fmt.str "expected a %s diagnostic, got:@.%a" check
+         (Fmt.list ~sep:Fmt.cut D.pp) ds)
+
+let expect_none check ds =
+  if has check ds then Alcotest.fail (Fmt.str "unexpected %s diagnostic" check)
+
+(* ---- loader pseudo-checks ---- *)
+
+let test_parse_error () =
+  let ds = analyze "resource fd[\n" in
+  expect "parse-error" ds;
+  Alcotest.(check bool) "is error" true (D.has_errors ds)
+
+let test_compile_error () =
+  let ds = analyze "use(x no_such_type)\n" in
+  expect "compile-error" ds
+
+(* Decl-level checks still run when compilation fails. *)
+let test_decl_checks_survive_compile_failure () =
+  let ds =
+    analyze "flags f = 1 2\nflags f = 3 4\nuse(x no_such_type)\n"
+  in
+  expect "compile-error" ds;
+  expect "sem-dup-spec" ds
+
+(* ---- semantics ---- *)
+
+let test_dup_spec () =
+  let ds = analyze "flags f = 1 2\nflags f = 3 4\nnop(a flags[f])\n" in
+  expect "sem-dup-spec" ds
+
+let test_res_special_width () =
+  let ds = analyze "resource fd[int8]: 999\nmk() fd\nuse(f fd)\n" in
+  expect "sem-res-special-width" ds
+
+let test_len_target () =
+  (* A len in a struct body naming no sibling; compile only rejects the
+     call-argument case, so this reaches the analyzer. *)
+  let ds =
+    analyze "struct s { n len[zzz], d int32 }\nuse(p ptr[in, s])\n"
+  in
+  expect "sem-len-target" ds
+
+let test_len_nested () =
+  let ds = analyze "snd(b ptr[in, array[int8]], n ptr[in, len[b]])\n" in
+  expect "sem-len-target" ds
+
+let test_dir_conflict () =
+  let ds =
+    analyze
+      "resource fd[int32]\n\
+       mk() fd\n\
+       struct s { r fd out }\n\
+       use(p ptr[in, s])\n"
+  in
+  expect "sem-dir-conflict" ds
+
+let test_dir_conflict_clean () =
+  let ds =
+    analyze
+      "resource fd[int32]\n\
+       mk() fd\n\
+       struct s { r fd out }\n\
+       use(p ptr[out, s])\n"
+  in
+  expect_none "sem-dir-conflict" ds
+
+let test_struct_cycle () =
+  let ds =
+    analyze "struct a { x b }\nstruct b { y a }\nnop(v int32)\n"
+  in
+  expect "sem-struct-cycle" ds;
+  (* The a <-> b cycle must be reported once, not once per entry point. *)
+  let n =
+    List.length
+      (List.filter
+         (fun (d : D.t) -> String.equal d.D.check "sem-struct-cycle")
+         ds)
+  in
+  Alcotest.(check int) "one report per cycle" 1 n
+
+let test_struct_cycle_ptr_ok () =
+  let ds =
+    analyze "struct a { x ptr[in, a], v int32 }\nuse(p ptr[in, a])\n"
+  in
+  expect_none "sem-struct-cycle" ds
+
+let test_int_range () =
+  let ds = analyze "struct s { q int8[0:300] }\nuse(p ptr[in, s])\n" in
+  expect "sem-int-range" ds
+
+let test_const_width () =
+  let ds =
+    analyze
+      "resource fd[int32]\n\
+       mk() fd\n\
+       ioctl$BAD(f fd, cmd const[0x123456789])\n"
+  in
+  expect "sem-const-width" ds
+
+(* ---- reachability ---- *)
+
+let unreachable_src =
+  "resource ghost[int32]\nconsume(g ghost)\nnop(v int32)\n"
+
+let test_unreachable_call () =
+  expect "reach-unreachable-call" (analyze unreachable_src)
+
+let test_unproducible_resource () =
+  expect "reach-unproducible-resource" (analyze unreachable_src)
+
+let test_reachable_via_inheritance () =
+  (* A producer of the child kind enables a consumer of that kind. *)
+  let ds =
+    analyze
+      "resource fd[int32]\n\
+       resource fd_dev[fd]\n\
+       mk() fd_dev\n\
+       use(f fd_dev)\n"
+  in
+  expect_none "reach-unreachable-call" ds;
+  expect_none "reach-unproducible-resource" ds
+
+(* ---- handler drift ---- *)
+
+let drift_input ~handlers ~file_ops src =
+  { (A.of_source ~name:"drift" src) with P.handlers = Some handlers; file_ops }
+
+let test_drift_missing_handler () =
+  let input =
+    drift_input ~handlers:[] ~file_ops:[] "nop(v int32)\n"
+  in
+  expect "drift-missing-handler" (A.run input)
+
+let test_drift_orphan_handler () =
+  let input =
+    drift_input
+      ~handlers:[ ("nop", "misc"); ("phantom_call", "misc") ]
+      ~file_ops:[] "nop(v int32)\n"
+  in
+  let ds = A.run input in
+  expect "drift-orphan-handler" ds;
+  expect_none "drift-missing-handler" ds
+
+let test_drift_orphan_fileop () =
+  let input =
+    drift_input
+      ~handlers:[ ("nop", "misc") ]
+      ~file_ops:[ ("frobnicate", "misc") ]
+      "nop(v int32)\n"
+  in
+  expect "drift-orphan-fileop" (A.run input)
+
+let test_drift_disabled_without_tables () =
+  (* of_source leaves handlers = None: no drift findings on standalone
+     description files. *)
+  let ds = analyze "nop(v int32)\n" in
+  expect_none "drift-missing-handler" ds
+
+(* ---- relations ---- *)
+
+let test_rel_unreachable_producer () =
+  (* mk_r -> use_r is a static edge, but mk_r itself needs an
+     unproducible resource, so the edge is not actionable. *)
+  let ds =
+    analyze
+      "resource ghost[int32]\n\
+       resource r[int32]\n\
+       mk_r(g ghost) r\n\
+       use_r(x r)\n"
+  in
+  expect "rel-unreachable-producer" ds
+
+let test_rel_dense () =
+  (* 4 producers x 4 consumers of one kind: 16 edges over 56 ordered
+     pairs, far beyond the sparsity the paper reports. *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b "resource r[int32]\n";
+  for i = 1 to 4 do
+    Buffer.add_string b (Printf.sprintf "mk%d() r\n" i)
+  done;
+  for i = 1 to 4 do
+    Buffer.add_string b (Printf.sprintf "use%d(a r)\n" i)
+  done;
+  let ds = analyze (Buffer.contents b) in
+  expect "rel-dense" ds
+
+let test_rel_density_info () =
+  let ds = analyze "resource fd[int32]\nmk() fd\nuse(f fd)\n" in
+  expect "rel-density" ds;
+  (* ...but natural density on a tiny target is not flagged. *)
+  expect_none "rel-dense" ds
+
+(* ---- migrated lint checks ---- *)
+
+let lint_src =
+  "resource fd[int32]\n\
+   resource ghost[int32]\n\
+   resource orphan[int32]\n\
+   flags unused = 1 2\n\
+   struct dead { v int32 }\n\
+   union lost { a int32, b int64 }\n\
+   mk() fd\n\
+   mk_orphan() orphan\n\
+   consume_ghost(g ghost)\n\
+   use(f fd)\n"
+
+let test_lint_checks () =
+  let ds = analyze lint_src in
+  expect "lint-unused-flagset" ds;
+  expect "lint-unreachable-struct" ds;
+  expect "lint-unreachable-union" ds;
+  expect "lint-no-producer" ds;
+  expect "lint-no-consumer" ds;
+  expect "lint-unproducible-consume" ds
+
+let test_lint_clean () =
+  let ds =
+    analyze "resource fd[int32]\nmk() fd\nuse(f fd)\n"
+    |> List.filter (fun (d : D.t) -> d.D.severity <> D.Info)
+  in
+  Alcotest.(check int) "clean" 0 (List.length ds)
+
+(* ---- diagnostics core ---- *)
+
+let test_positions () =
+  let ds = analyze ~name:"pos.txt" "resource fd[int8]: 999\nmk() fd\nuse(f fd)\n" in
+  let d =
+    List.find (fun (d : D.t) -> d.D.check = "sem-res-special-width") ds
+  in
+  (match d.D.pos with
+  | Some { D.src = Some "pos.txt"; line = 1 } -> ()
+  | _ -> Alcotest.fail "wrong position");
+  Alcotest.(check bool)
+    "rendered with position" true
+    (let s = Fmt.str "%a" D.pp d in
+     String.length s >= 10 && String.sub s 0 10 = "pos.txt:1:")
+
+let test_ordering () =
+  let ds = analyze unreachable_src in
+  let sevs = List.map (fun (d : D.t) -> D.severity_rank d.D.severity) ds in
+  Alcotest.(check bool)
+    "errors before warnings before infos" true
+    (List.sort compare sevs = sevs)
+
+let test_json () =
+  let ds = analyze ~name:"j" "resource fd[int8]: 999\nmk() fd\nuse(f fd)\n" in
+  let json = D.list_to_json ~name:"j" ds in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names target" true (contains "\"target\":\"j\"");
+  Alcotest.(check bool) "carries check id" true
+    (contains "\"check\":\"sem-res-special-width\"");
+  Alcotest.(check bool) "counts errors" true (contains "\"errors\":1")
+
+let test_check_ids_unique () =
+  let ids = List.map (fun (id, _, _, _) -> id) A.all_checks in
+  Alcotest.(check int)
+    "no duplicate check IDs"
+    (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+(* ---- golden: the shipped corpus is analyzer-clean ---- *)
+
+let test_corpus_clean () =
+  let ds = A.run (A.of_kernel ()) in
+  let errors = D.count D.Error ds and warnings = D.count D.Warning ds in
+  (match
+     List.filter (fun (d : D.t) -> d.D.severity <> D.Info) ds
+   with
+  | [] -> ()
+  | noisy ->
+    Alcotest.fail
+      (Fmt.str "corpus not clean:@.%a" (Fmt.list ~sep:Fmt.cut D.pp) noisy));
+  Alcotest.(check int) "no errors" 0 errors;
+  Alcotest.(check int) "no warnings" 0 warnings;
+  (* The density stat is always reported. *)
+  expect "rel-density" ds
+
+let suite =
+  [
+    Alcotest.test_case "parse error" `Quick test_parse_error;
+    Alcotest.test_case "compile error" `Quick test_compile_error;
+    Alcotest.test_case "decl checks survive compile failure" `Quick
+      test_decl_checks_survive_compile_failure;
+    Alcotest.test_case "sem-dup-spec" `Quick test_dup_spec;
+    Alcotest.test_case "sem-res-special-width" `Quick test_res_special_width;
+    Alcotest.test_case "sem-len-target" `Quick test_len_target;
+    Alcotest.test_case "sem-len-target nested" `Quick test_len_nested;
+    Alcotest.test_case "sem-dir-conflict" `Quick test_dir_conflict;
+    Alcotest.test_case "sem-dir-conflict clean" `Quick test_dir_conflict_clean;
+    Alcotest.test_case "sem-struct-cycle" `Quick test_struct_cycle;
+    Alcotest.test_case "sem-struct-cycle ptr ok" `Quick test_struct_cycle_ptr_ok;
+    Alcotest.test_case "sem-int-range" `Quick test_int_range;
+    Alcotest.test_case "sem-const-width" `Quick test_const_width;
+    Alcotest.test_case "reach-unreachable-call" `Quick test_unreachable_call;
+    Alcotest.test_case "reach-unproducible-resource" `Quick
+      test_unproducible_resource;
+    Alcotest.test_case "reachable via inheritance" `Quick
+      test_reachable_via_inheritance;
+    Alcotest.test_case "drift-missing-handler" `Quick test_drift_missing_handler;
+    Alcotest.test_case "drift-orphan-handler" `Quick test_drift_orphan_handler;
+    Alcotest.test_case "drift-orphan-fileop" `Quick test_drift_orphan_fileop;
+    Alcotest.test_case "drift disabled without tables" `Quick
+      test_drift_disabled_without_tables;
+    Alcotest.test_case "rel-unreachable-producer" `Quick
+      test_rel_unreachable_producer;
+    Alcotest.test_case "rel-dense" `Quick test_rel_dense;
+    Alcotest.test_case "rel-density info" `Quick test_rel_density_info;
+    Alcotest.test_case "lint checks" `Quick test_lint_checks;
+    Alcotest.test_case "lint clean" `Quick test_lint_clean;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "json" `Quick test_json;
+    Alcotest.test_case "check ids unique" `Quick test_check_ids_unique;
+    Alcotest.test_case "corpus clean" `Quick test_corpus_clean;
+  ]

@@ -241,55 +241,33 @@ let test_specialization () =
   let o = Target.find_exn t "open" in
   Alcotest.(check bool) "open is not" false (Syscall.is_specialization o)
 
-let test_lint_clean_builtin () =
-  Alcotest.(check (list string)) "built-in target lints clean" []
-    (Target.lint (tgt ()))
+(* The Target.lint checks moved to the Healer_analysis lint pass; see
+   test_analysis.ml for their coverage. *)
 
-let test_lint_findings () =
+let test_decl_positions () =
   let t =
     compile
       {|
 resource fd[int32]: -1
-resource orphan[int32]
-resource sink_only[int32]
-flags unused_flags = 1 2
-struct unreachable_struct { a int32 }
-open() fd
+flags o_flags = 1 2
+struct st { a int32, b flags[o_flags] }
+open(p ptr[in, st]) fd
 close(fd fd)
-consume_sink(x sink_only)
 |}
   in
-  let warnings = Target.lint t in
-  let has needle =
-    List.exists
-      (fun w ->
-        let n = String.length needle and m = String.length w in
-        let rec go i = i + n <= m && (String.sub w i n = needle || go (i + 1)) in
-        go 0)
-      warnings
-  in
-  Alcotest.(check bool) "orphan resource unproduced" true (has "orphan");
-  Alcotest.(check bool) "sink_only unproduced" true (has "sink_only has no producer");
-  Alcotest.(check bool) "unused flags" true (has "unused_flags");
-  Alcotest.(check bool) "unreachable struct" true (has "unreachable_struct");
-  Alcotest.(check bool) "consumer without producer" true
-    (has "consume_sink consumes sink_only")
+  Alcotest.(check (option int)) "resource line" (Some 2)
+    (Target.decl_line t `Resource "fd");
+  Alcotest.(check (option int)) "flags line" (Some 3)
+    (Target.decl_line t `Flags "o_flags");
+  Alcotest.(check (option int)) "struct line" (Some 4)
+    (Target.decl_line t `Struct "st");
+  Alcotest.(check (option int)) "call line" (Some 5) (Target.decl_line t `Call "open");
+  Alcotest.(check (option int)) "absent decl" None (Target.decl_line t `Union "st")
 
-let test_lint_inheritance_aware () =
-  (* A base kind produced only through a subkind is not a warning. *)
-  let t =
-    compile
-      {|
-resource fd[int32]: -1
-resource fd_dev[fd]
-open_dev() fd_dev
-close(fd fd)
-|}
-  in
-  Alcotest.(check bool) "no fd-has-no-producer warning" false
-    (List.exists
-       (fun w -> w = "resource fd has no producer")
-       (Target.lint t))
+let test_parse_located_lines () =
+  match Parser.parse_located "resource fd[int32]\n\nopen() fd\n" with
+  | [ (Parser.Resource _, 1); (Parser.Call _, 3) ] -> ()
+  | _ -> Alcotest.fail "located declarations"
 
 let suite =
   [
@@ -317,7 +295,6 @@ let suite =
     case "full target: handlers align" test_full_target_handlers_align;
     case "full target: sanity" test_full_target_sanity;
     case "specializations" test_specialization;
-    case "lint: builtin clean" test_lint_clean_builtin;
-    case "lint: findings" test_lint_findings;
-    case "lint: inheritance aware" test_lint_inheritance_aware;
+    case "decl positions" test_decl_positions;
+    case "parse_located lines" test_parse_located_lines;
   ]
