@@ -4,12 +4,21 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe fig4 table1     # selected sections
+     dune exec bench/main.exe -- --json       # also write BENCH_results.json
 
    Environment:
      HEALER_BENCH_ROUNDS  rounds per experiment (default 5; paper: 10)
      HEALER_BENCH_HOURS   virtual hours per campaign (default 24)
      HEALER_BENCH_EXT     virtual hours of the extended per-version
                           campaign behind Table 5 (default 96)
+     HEALER_BENCH_JOBS    worker domains for the campaign matrix
+                          (default: Domain.recommended_domain_count)
+
+   The campaign matrix behind the requested sections is prefetched
+   through a domain pool (Campaign.run_matrix); each campaign is a
+   deterministic function of (tool, version, seed, hours), so stdout
+   is byte-identical whatever HEALER_BENCH_JOBS is — prefetch progress
+   goes to stderr.
 
    Absolute numbers differ from the paper (the kernel is a simulator on
    a virtual clock); the comparisons are the reproduction target. *)
@@ -57,6 +66,66 @@ let campaign ?(h = hours) tool version seed =
 let runs_of ?(h = hours) tool version =
   List.init rounds (fun i -> campaign ~h tool version (i + 1))
 
+(* ---- parallel prefetch of the matrix ---- *)
+
+(* Which tools each section's tables draw on; the version axis is
+   always [versions] and the seed axis 1..rounds at [hours]. *)
+let section_tools =
+  [
+    ("fig4", [ Fuzzer.Healer; Fuzzer.Syzkaller; Fuzzer.Moonshine ]);
+    ("table1", [ Fuzzer.Healer; Fuzzer.Syzkaller; Fuzzer.Moonshine ]);
+    ("table2", [ Fuzzer.Healer; Fuzzer.Healer_minus ]);
+    ("table3", [ Fuzzer.Healer ]);
+    ("fig5", [ Fuzzer.Healer ]);
+    ("fig6", tools);
+    ("table4", tools);
+  ]
+
+(* Stats for the JSON report. *)
+let prefetch_stats : (int * int * float) option ref = ref None
+
+let prefetch requested =
+  let wanted =
+    List.concat_map
+      (fun name ->
+        match List.assoc_opt name section_tools with
+        | Some ts ->
+          List.concat_map
+            (fun tool ->
+              List.concat_map
+                (fun version ->
+                  List.init rounds (fun i -> (tool, version, i + 1, hours)))
+                versions)
+            ts
+        | None ->
+          if name = "table5" then
+            let ext_rounds = max 1 (rounds / 2) in
+            List.concat_map
+              (fun version ->
+                List.init ext_rounds (fun i ->
+                    (Fuzzer.Healer, version, i + 1, ext_hours)))
+              K.Version.all
+          else [])
+      requested
+  in
+  let specs =
+    List.filter
+      (fun (t, v, s, h) -> not (Hashtbl.mem cache (key t v s h)))
+      (List.sort_uniq compare wanted)
+  in
+  if specs <> [] then begin
+    let jobs = Campaign.default_jobs () in
+    Fmt.epr "prefetching %d campaigns on %d domains...@." (List.length specs) jobs;
+    let t0 = Unix.gettimeofday () in
+    let runs = Campaign.run_matrix ~jobs specs in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter2
+      (fun (t, v, s, h) r -> Hashtbl.replace cache (key t v s h) r)
+      specs runs;
+    Fmt.epr "prefetched in %.1fs@." dt;
+    prefetch_stats := Some (List.length specs, jobs, dt)
+  end
+
 (* ---- Figure 4: coverage growth over 24 hours ---- *)
 
 let fig4 () =
@@ -69,18 +138,32 @@ let fig4 () =
       let h_series = series Fuzzer.Healer in
       let s_series = series Fuzzer.Syzkaller in
       let m_series = series Fuzzer.Moonshine in
-      let at series t =
-        let rec go acc = function
-          | [] -> acc
-          | (t', v) :: rest -> if t' <= t then go v rest else acc
-        in
-        go 0.0 series
-      in
       let steps = int_of_float (hours /. 2.0) in
+      let step_times =
+        Array.init steps (fun i -> float_of_int (i + 1) *. 2.0 *. 3600.0)
+      in
+      (* One synchronized pass per series instead of a full rescan per
+         row: both the series and the query times ascend. *)
+      let sampled series =
+        let out = Array.make steps 0.0 in
+        let rec go i last series =
+          if i < steps then
+            match series with
+            | (t', v) :: rest when t' <= step_times.(i) -> go i v rest
+            | _ ->
+              out.(i) <- last;
+              go (i + 1) last series
+        in
+        go 0 0.0 series;
+        out
+      in
+      let h_at = sampled h_series in
+      let s_at = sampled s_series in
+      let m_at = sampled m_series in
       for step = 1 to steps do
-        let t = float_of_int step *. 2.0 *. 3600.0 in
-        Fmt.pr "  %6.0f %10.0f %10.0f %10.0f@." (t /. 3600.0) (at h_series t)
-          (at s_series t) (at m_series t)
+        let t = step_times.(step - 1) in
+        Fmt.pr "  %6.0f %10.0f %10.0f %10.0f@." (t /. 3600.0)
+          h_at.(step - 1) s_at.(step - 1) m_at.(step - 1)
       done;
       let arr series = Array.of_list (List.map snd series) in
       Fmt.pr "@.%s@."
@@ -372,6 +455,9 @@ let ablation () =
 
 (* ---- micro-benchmarks (bechamel) ---- *)
 
+(* name -> ns/run, for the JSON report. *)
+let micro_results : (string * float) list ref = ref []
+
 let micro () =
   section "Micro-benchmarks (bechamel)";
   let open Bechamel in
@@ -386,11 +472,36 @@ let micro () =
   in
   let encoded = Healer_executor.Serializer.encode sample_prog in
   let choice = Choice_table.create target in
+  (* Steady-state fixtures for the hot-path benches: a long-lived
+     collector, a run result already merged into the feedback bitmap,
+     and its coverage traces. *)
+  let bench_cov = K.Coverage.create () in
+  let sample_run = snd (Healer_executor.Exec.run ~cov:bench_cov kernel sample_prog) in
+  let feedback = Feedback.create () in
+  ignore (Feedback.process feedback sample_run);
+  let trace = Healer_executor.Exec.total_cov sample_run in
+  let trace_shuffled = List.rev trace in
+  let sample_pc =
+    Prog_cov.of_run sample_prog sample_run
+      ~new_cov:(Array.map (fun (c : Healer_executor.Exec.call_result) -> c.Healer_executor.Exec.cov) sample_run.Healer_executor.Exec.calls)
+  in
+  let min_exec p = snd (Healer_executor.Exec.run ~cov:bench_cov kernel p) in
   let tests =
     [
       Test.make ~name:"exec program"
         (Staged.stage (fun () ->
-             ignore (Healer_executor.Exec.run kernel sample_prog)));
+             ignore (Healer_executor.Exec.run ~cov:bench_cov kernel sample_prog)));
+      Test.make ~name:"feedback process"
+        (Staged.stage (fun () -> ignore (Feedback.process feedback sample_run)));
+      Test.make ~name:"bitset new_of"
+        (Staged.stage (fun () ->
+             ignore (Healer_util.Bitset.new_of (Feedback.seen feedback) trace)));
+      Test.make ~name:"cov_equal"
+        (Staged.stage (fun () ->
+             ignore (Healer_executor.Exec.cov_equal trace trace_shuffled)));
+      Test.make ~name:"minimize"
+        (Staged.stage (fun () ->
+             ignore (Minimize.minimize ~exec:min_exec sample_pc)));
       Test.make ~name:"serializer encode"
         (Staged.stage (fun () -> ignore (Healer_executor.Serializer.encode sample_prog)));
       Test.make ~name:"serializer decode"
@@ -429,10 +540,13 @@ let micro () =
           let raw = Benchmark.run cfg instances elt in
           let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "  %-26s %14.0f@." (Test.Elt.name elt) est
+          | Some [ est ] ->
+            micro_results := (Test.Elt.name elt, est) :: !micro_results;
+            Fmt.pr "  %-26s %14.0f@." (Test.Elt.name elt) est
           | _ -> Fmt.pr "  %-26s %14s@." (Test.Elt.name elt) "n/a")
         (Test.elements test))
-    tests
+    tests;
+  micro_results := List.rev !micro_results
 
 (* ---- main ---- *)
 
@@ -443,19 +557,72 @@ let sections =
     ("ablation", ablation); ("micro", micro);
   ]
 
+(* ---- machine-readable results (--json) ---- *)
+
+let json_path = "BENCH_results.json"
+
+let write_json ~jobs ~section_times () =
+  let buf = Buffer.create 1024 in
+  let field ?(last = false) fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf s;
+        if not last then Buffer.add_char buf ',';
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let obj_list name items render =
+    let body =
+      String.concat ", " (List.map render items)
+    in
+    Printf.sprintf "%S: [%s]" name body
+  in
+  Buffer.add_string buf "{\n";
+  field "\"schema\": 1";
+  field "\"rounds\": %d" rounds;
+  field "\"hours\": %g" hours;
+  field "\"ext_hours\": %g" ext_hours;
+  field "\"jobs\": %d" jobs;
+  (match !prefetch_stats with
+  | Some (campaigns, pjobs, seconds) ->
+    field "\"prefetch\": {\"campaigns\": %d, \"jobs\": %d, \"seconds\": %.3f}"
+      campaigns pjobs seconds
+  | None -> field "\"prefetch\": null");
+  field "%s"
+    (obj_list "sections" (List.rev section_times) (fun (name, dt) ->
+         Printf.sprintf "{\"name\": %S, \"seconds\": %.3f}" name dt));
+  field ~last:true "%s"
+    (obj_list "micro" !micro_results (fun (name, ns) ->
+         Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f}" name ns));
+  Buffer.add_string buf "}\n";
+  let oc = open_out json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.epr "wrote %s@." json_path
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match List.filter (fun a -> a <> "--json") args with
+    | [] -> List.map fst sections
+    | names -> names
   in
   Fmt.pr "HEALER reproduction benches: rounds=%d, %.0f virtual hours per campaign@."
     rounds hours;
+  prefetch requested;
+  let section_times = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        section_times := (name, Unix.gettimeofday () -. t0) :: !section_times
       | None ->
         Fmt.epr "unknown section %s (available: %s)@." name
           (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  if json then
+    write_json ~jobs:(Campaign.default_jobs ()) ~section_times:!section_times ()

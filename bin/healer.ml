@@ -201,22 +201,47 @@ let relations_cmd =
        ~doc:"Fuzz for a while with HEALER and dump the learned relation table")
     Term.(const run_relations $ version_arg $ hours_arg $ seed_arg)
 
-let run_compare subject base version hours seed =
-  let go tool =
-    let r = Campaign.run_one ~hours ~seed ~tool ~version () in
-    Fmt.pr "%-10s coverage=%d execs=%d crashes=%d@." (Fuzzer.tool_name tool)
-      r.Campaign.final_cov r.Campaign.execs
-      (List.length r.Campaign.crashes);
-    r
-  in
-  let b = go base in
-  let s = go subject in
-  Fmt.pr "improvement of %s over %s: %+.1f%%@." (Fuzzer.tool_name subject)
-    (Fuzzer.tool_name base)
-    (Campaign.improvement_pct ~base:b s);
-  match Campaign.speedup ~base:b s with
-  | Some x -> Fmt.pr "speed-up to reach %s's coverage: %.1fx@." (Fuzzer.tool_name base) x
-  | None -> Fmt.pr "subject did not reach the base coverage@."
+(* 0 = auto: HEALER_BENCH_JOBS or Domain.recommended_domain_count. *)
+let resolve_jobs jobs = if jobs = 0 then Campaign.default_jobs () else jobs
+
+let run_compare subject base version hours seed rounds jobs =
+  or_die @@ fun () ->
+  let jobs = resolve_jobs jobs in
+  if rounds <= 1 then begin
+    (* The two campaigns are independent: fan them out. *)
+    let runs =
+      Campaign.run_matrix ~jobs
+        [ (base, version, seed, hours); (subject, version, seed, hours) ]
+    in
+    match runs with
+    | [ b; s ] ->
+      List.iter
+        (fun (r : Campaign.run) ->
+          Fmt.pr "%-10s coverage=%d execs=%d crashes=%d@."
+            (Fuzzer.tool_name r.Campaign.tool) r.Campaign.final_cov
+            r.Campaign.execs
+            (List.length r.Campaign.crashes))
+        [ b; s ];
+      Fmt.pr "improvement of %s over %s: %+.1f%%@." (Fuzzer.tool_name subject)
+        (Fuzzer.tool_name base)
+        (Campaign.improvement_pct ~base:b s);
+      (match Campaign.speedup ~base:b s with
+      | Some x ->
+        Fmt.pr "speed-up to reach %s's coverage: %.1fx@." (Fuzzer.tool_name base) x
+      | None -> Fmt.pr "subject did not reach the base coverage@.")
+    | _ -> assert false
+  end
+  else begin
+    let c = Campaign.compare_tools ~jobs ~hours ~rounds ~subject ~base version in
+    Fmt.pr "%s vs %s on Linux %s, %d paired rounds (%d jobs)@."
+      (Fuzzer.tool_name subject) (Fuzzer.tool_name base)
+      (K.Version.to_string version) rounds jobs;
+    Fmt.pr "  improvement min %+.1f%%  max %+.1f%%  avg %+.1f%%@."
+      c.Campaign.min_impr c.Campaign.max_impr c.Campaign.avg_impr;
+    match c.Campaign.avg_speedup with
+    | Some x -> Fmt.pr "  average speed-up %.1fx@." x
+    | None -> Fmt.pr "  subject did not reach the base coverage@."
+  end
 
 let base_arg =
   Arg.(
@@ -224,10 +249,31 @@ let base_arg =
     & opt tool_conv Fuzzer.Syzkaller
     & info [ "b"; "base" ] ~docv:"TOOL" ~doc:"Baseline tool.")
 
+let rounds_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "r"; "rounds" ] ~docv:"N"
+        ~doc:"Paired rounds (one seed per round); with N>1 prints Table-1-style stats.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the campaign matrix. 0 (default) means \
+           $(b,HEALER_BENCH_JOBS) or the machine's recommended domain count.")
+
 let compare_cmd =
   Cmd.v
-    (Cmd.info "compare" ~doc:"Head-to-head campaign of two tools")
-    Term.(const run_compare $ tool_arg $ base_arg $ version_arg $ hours_arg $ seed_arg)
+    (Cmd.info "compare"
+       ~doc:
+         "Head-to-head campaigns of two tools, fanned out across worker \
+          domains")
+    Term.(
+      const run_compare $ tool_arg $ base_arg $ version_arg $ hours_arg
+      $ seed_arg $ rounds_arg $ jobs_arg)
 
 let read_file path =
   let ic = open_in path in

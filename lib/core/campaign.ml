@@ -34,6 +34,30 @@ let run_one ?(hours = 24.0) ?(seed = 1) ~tool ~version () =
     execs = Fuzzer.execs f;
   }
 
+(* ---- parallel campaign matrix ---- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "HEALER_BENCH_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg "HEALER_BENCH_JOBS must be a positive integer")
+
+let run_matrix ?jobs specs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Campaign.run_matrix: jobs must be positive";
+  let jobs = min jobs (max 1 (List.length specs)) in
+  (* Campaigns only read the process-global kernel tables; settle them
+     all before any worker domain exists. *)
+  Healer_kernel.Kernel.force_init ();
+  let one (tool, version, seed, hours) = run_one ~hours ~seed ~tool ~version () in
+  if jobs = 1 then List.map one specs
+  else
+    Healer_util.Domain_pool.with_pool ~jobs (fun pool ->
+        Healer_util.Domain_pool.map pool one specs)
+
 let improvement_pct ~base subject =
   Healer_util.Statx.pct (float_of_int base.final_cov) (float_of_int subject.final_cov)
 
@@ -58,15 +82,20 @@ type comparison = {
   avg_speedup : float option;
 }
 
-let compare_tools ?(hours = 24.0) ~rounds ~subject ~base version =
+let compare_tools ?jobs ?(hours = 24.0) ~rounds ~subject ~base version =
   if rounds <= 0 then invalid_arg "Campaign.compare_tools: rounds must be positive";
-  let pairs =
-    List.init rounds (fun round ->
+  let specs =
+    List.concat_map
+      (fun round ->
         let seed = round + 1 in
-        let b = run_one ~hours ~seed ~tool:base ~version () in
-        let s = run_one ~hours ~seed ~tool:subject ~version () in
-        (b, s))
+        [ (base, version, seed, hours); (subject, version, seed, hours) ])
+      (List.init rounds Fun.id)
   in
+  let rec pair_up = function
+    | b :: s :: rest -> (b, s) :: pair_up rest
+    | [ _ ] | [] -> []
+  in
+  let pairs = pair_up (run_matrix ?jobs specs) in
   let imprs = List.map (fun (b, s) -> improvement_pct ~base:b s) pairs in
   let speedups = List.filter_map (fun (b, s) -> speedup ~base:b s) pairs in
   {
@@ -79,24 +108,33 @@ let compare_tools ?(hours = 24.0) ~rounds ~subject ~base version =
       (if speedups = [] then None else Some (Healer_util.Statx.mean speedups));
   }
 
+(* For each query time, the value carried is the last sample at or
+   before it. Both lists ascend, so one synchronized pass per run
+   replaces the per-query rescan of the whole sample list. *)
+let series_at ~times samples =
+  let out = Array.make (Array.length times) 0.0 in
+  let rec go i last samples =
+    if i < Array.length times then
+      match samples with
+      | (t', cov) :: rest when t' <= times.(i) -> go i (float_of_int cov) rest
+      | _ ->
+        out.(i) <- last;
+        go (i + 1) last samples
+  in
+  go 0 0.0 samples;
+  out
+
 let average_series runs =
   match runs with
   | [] -> []
   | first :: _ ->
-    let times = List.map fst first.samples in
-    List.map
-      (fun t ->
-        let at run =
-          (* Last sample at or before t; series are per-minute so exact
-             matches are the common case. *)
-          let rec go acc = function
-            | [] -> acc
-            | (t', cov) :: rest -> if t' <= t then go (float_of_int cov) rest else acc
-          in
-          go 0.0 run.samples
-        in
-        (t, Healer_util.Statx.mean (List.map at runs)))
-      times
+    let times = Array.of_list (List.map fst first.samples) in
+    let per_run = List.map (fun run -> series_at ~times run.samples) runs in
+    let n = float_of_int (List.length runs) in
+    List.mapi
+      (fun i t ->
+        (t, List.fold_left (fun acc s -> acc +. s.(i)) 0.0 per_run /. n))
+      (Array.to_list times)
 
 let merge_crashes runs =
   let best : (string, Triage.record) Hashtbl.t = Hashtbl.create 32 in

@@ -28,6 +28,23 @@ val run_one :
   run
 (** One campaign (default 24 virtual hours). *)
 
+val default_jobs : unit -> int
+(** Worker-domain count for {!run_matrix}: the [HEALER_BENCH_JOBS]
+    environment variable when set (must be a positive integer), else
+    [Domain.recommended_domain_count ()]. *)
+
+val run_matrix :
+  ?jobs:int ->
+  (Fuzzer.tool * Healer_kernel.Version.t * int * float) list ->
+  run list
+(** [run_matrix specs] runs one campaign per [(tool, version, seed,
+    hours)] spec. Campaigns are independent (the paper's evaluation
+    matrix, Section 6), so they are fanned out across [jobs] worker
+    domains (default {!default_jobs}); results come back in input
+    order and are identical to a sequential run — each campaign is a
+    deterministic function of its spec. Calls
+    {!Healer_kernel.Kernel.force_init} before spawning. *)
+
 val improvement_pct : base:run -> run -> float
 (** Final-coverage improvement of the subject over [base], percent. *)
 
@@ -49,6 +66,7 @@ type comparison = {
 }
 
 val compare_tools :
+  ?jobs:int ->
   ?hours:float ->
   rounds:int ->
   subject:Fuzzer.tool ->
@@ -56,7 +74,7 @@ val compare_tools :
   Healer_kernel.Version.t ->
   comparison
 (** Paired rounds (same seed per round for both tools), as in Table 1 /
-    Table 2. *)
+    Table 2. The [2 * rounds] campaigns run through {!run_matrix}. *)
 
 val average_series : run list -> (float * float) list
 (** Point-wise average of the runs' coverage samples (Figure 4). *)

@@ -19,7 +19,7 @@ let learn_one ~exec ~table (pc : Prog_cov.t) =
         if k - 1 < Array.length r.Exec.calls then r.Exec.calls.(k - 1).Exec.cov
         else []
       in
-      if not (Exec.cov_equal cov' pc.Prog_cov.cov.(k)) then
+      if not (Exec.cov_matches (Exec.cov_key pc.Prog_cov.cov.(k)) cov') then
         if Relation_table.set table i j then fresh := (i, j) :: !fresh
     end
   done;

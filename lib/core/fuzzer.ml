@@ -192,7 +192,10 @@ let create ?initial_relations ?(initial_seeds = []) cfg =
     seeds;
   t
 
-let last_opt = function [] -> None | l -> Some (List.nth l (List.length l - 1))
+let rec last_opt = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: tl -> last_opt tl
 
 let select_fn t ~sub =
   match t.cfg.tool with

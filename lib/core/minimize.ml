@@ -16,7 +16,8 @@ let minimize ~exec (pc : Prog_cov.t) =
   for i = n - 1 downto 0 do
     if (not (Hashtbl.mem reserved i)) && pc.Prog_cov.new_cov.(i) <> [] then begin
       Hashtbl.replace reserved i ();
-      let target_cov = pc.Prog_cov.cov.(i) in
+      (* Keyed once; compared against every removal probe below. *)
+      let target_key = Exec.cov_key pc.Prog_cov.cov.(i) in
       (* p' = p[0 .. i]; [last] tracks C_i's index within p' as earlier
          calls are removed. *)
       let p' = ref (Prog.sub p (i + 1)) in
@@ -37,7 +38,7 @@ let minimize ~exec (pc : Prog_cov.t) =
               r.Exec.calls.(kept_last).Exec.cov
             else []
           in
-          if Exec.cov_equal cov' target_cov then begin
+          if Exec.cov_matches target_key cov' then begin
             p' := candidate;
             last := kept_last;
             origin := List.filter (fun o -> o <> j) !origin

@@ -44,12 +44,14 @@ let rec resolve results (v : Value.t) : K.Arg.t =
   | Value.Null -> K.Arg.Nothing
   | Value.Vma a -> K.Arg.Int a
 
-let run ?fault_call ?(fresh_state = true) kernel (p : Prog.t) =
+let run ?fault_call ?(fresh_state = true) ?cov kernel (p : Prog.t) =
   let kernel = if fresh_state then K.Kernel.reboot kernel else kernel in
   let n = Prog.length p in
   let results = Array.make n None in
   let out = Array.make n skipped in
-  let cov = K.Coverage.create () in
+  (* Callers on the hot path (the VM pool) pass a long-lived collector
+     so steady-state execution allocates no per-run dedup state. *)
+  let cov = match cov with Some c -> c | None -> K.Coverage.create () in
   let crash = ref None in
   let stop = ref false in
   let i = ref 0 in
@@ -115,9 +117,42 @@ let run ?fault_call ?(fresh_state = true) kernel (p : Prog.t) =
   done;
   (kernel, { calls = out; crash = !crash })
 
-let cov_equal a b =
-  let sa = List.sort_uniq Int.compare a and sb = List.sort_uniq Int.compare b in
-  sa = sb
+(* Sorted, duplicate-free array form of a coverage trace. Minimization
+   and dynamic learning compare one reference trace against many probe
+   traces; keying the reference once replaces the double sort_uniq the
+   old cov_equal paid on every probe. *)
+type cov_key = int array
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
+
+let cov_key l =
+  let a = Array.of_list l in
+  Array.sort Int.compare a;
+  dedup_sorted a
+
+let cov_matches key l =
+  let a = Array.of_list l in
+  Array.sort Int.compare a;
+  let a = dedup_sorted a in
+  let n = Array.length key in
+  Array.length a = n
+  &&
+  let rec eq i = i >= n || (a.(i) = key.(i) && eq (i + 1)) in
+  eq 0
+
+let cov_equal a b = cov_matches (cov_key a) b
 
 let total_cov r =
   Array.to_list r.calls

@@ -21,6 +21,7 @@ type run_result = {
 val run :
   ?fault_call:int ->
   ?fresh_state:bool ->
+  ?cov:Healer_kernel.Coverage.t ->
   Healer_kernel.Kernel.t ->
   Prog.t ->
   Healer_kernel.Kernel.t * run_result
@@ -29,12 +30,22 @@ val run :
     the executor forks a pristine process per test case.
     [fault_call i] injects an allocation failure into call [i]; the
     process is then killed and the kernel runs its core-dump path
-    (which may itself crash). Returns the (possibly re-booted) kernel
-    and the result. *)
+    (which may itself crash). [cov] is the coverage collector to
+    (re)use — pass a long-lived one to avoid allocating dedup state
+    per run; a fresh one is created when absent. Returns the
+    (possibly re-booted) kernel and the result. *)
 
 val cov_equal : int list -> int list -> bool
 (** Set equality of two per-call coverage traces (order-insensitive),
     the comparison both Algorithm 1 and Algorithm 2 perform. *)
+
+type cov_key
+(** A coverage trace in sorted duplicate-free form, for comparing one
+    reference trace against many probes without re-sorting it. *)
+
+val cov_key : int list -> cov_key
+val cov_matches : cov_key -> int list -> bool
+(** [cov_matches (cov_key a) b] is [cov_equal a b]. *)
 
 val total_cov : run_result -> int list
 (** Union of all per-call coverage, deduplicated. *)

@@ -10,6 +10,7 @@ type t = {
   vm_id : int;
   mutable kernel : K.Kernel.t;
   mutable is_crashed : bool;
+  cov : K.Coverage.t;  (* reused across every run on this VM *)
   st : stats;
 }
 
@@ -18,6 +19,7 @@ let create ?(san = K.Sanitizer.default) ?(features = []) ~version ~id () =
     vm_id = id;
     kernel = K.Kernel.boot ~san ~features ~version ();
     is_crashed = false;
+    cov = K.Coverage.create ();
     st = { execs = 0; crashes = 0; resets = 0 };
   }
 
@@ -33,7 +35,7 @@ let reset vm =
 
 let run vm ?fault_call prog =
   reset vm;
-  let kernel, result = Exec.run ?fault_call vm.kernel prog in
+  let kernel, result = Exec.run ?fault_call ~cov:vm.cov vm.kernel prog in
   vm.kernel <- kernel;
   vm.st.execs <- vm.st.execs + 1;
   (match result.Exec.crash with

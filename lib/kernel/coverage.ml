@@ -1,27 +1,12 @@
-type t = {
-  mutable hits : int list;  (* reverse first-hit order *)
-  seen : (int, unit) Hashtbl.t;
-}
-
-let create () = { hits = []; seen = Hashtbl.create 64 }
-
-let hit t id =
-  if not (Hashtbl.mem t.seen id) then begin
-    Hashtbl.add t.seen id ();
-    t.hits <- id :: t.hits
-  end
-
-let blocks t = List.rev t.hits
-
-let reset t =
-  t.hits <- [];
-  Hashtbl.reset t.seen
-
 (* Region registry: global, deterministic for a fixed build since
    regions are allocated from module initializers in link order. *)
 let regions : (string, int * int) Hashtbl.t = Hashtbl.create 32
 let ordered : (string * int * int) list ref = ref []
 let next_base = ref 0
+
+(* Sorted-by-base view of [ordered] for O(log n) [region_name];
+   rebuilt whenever the registry has grown since the last lookup. *)
+let sorted : (int * int * string) array ref = ref [||]
 
 let region ~name ~size =
   match Hashtbl.find_opt regions name with
@@ -36,12 +21,75 @@ let region ~name ~size =
     next_base := base + size;
     base
 
-let region_name id =
-  let rec find = function
-    | [] -> "?"
-    | (name, base, size) :: rest ->
-      if id >= base && id < base + size then name else find rest
+let rebuild_sorted () =
+  let arr =
+    Array.of_list (List.map (fun (name, base, size) -> (base, size, name)) !ordered)
   in
-  find !ordered
+  Array.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) arr;
+  sorted := arr
+
+let force_regions () = rebuild_sorted ()
+
+let region_name id =
+  if Array.length !sorted <> Hashtbl.length regions then rebuild_sorted ();
+  let arr = !sorted in
+  let res = ref "?" in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let base, size, name = arr.(mid) in
+    if id < base then hi := mid - 1
+    else if id >= base + size then lo := mid + 1
+    else begin
+      res := name;
+      lo := !hi + 1
+    end
+  done;
+  !res
 
 let total_allocated () = !next_base
+
+(* Collector: a generation-stamped array instead of a per-window
+   hashtable. [stamp.(id) = gen] marks id as hit in the current
+   window; [reset] bumps the generation, which invalidates every
+   stamp in O(1) without touching (or re-allocating) the array.
+   Collectors are long-lived (one per VM) and reused across runs. *)
+type t = {
+  mutable order : int array;  (* first-hit order, first [n] slots *)
+  mutable n : int;
+  mutable stamp : int array;
+  mutable gen : int;
+}
+
+let create () =
+  {
+    order = Array.make 64 0;
+    n = 0;
+    stamp = Array.make (max 64 (total_allocated ())) 0;
+    gen = 1;
+  }
+
+let hit t id =
+  if id < 0 then invalid_arg "Coverage.hit: negative id";
+  let len = Array.length t.stamp in
+  if id >= len then begin
+    let grown = Array.make (max (id + 1) (2 * len)) 0 in
+    Array.blit t.stamp 0 grown 0 len;
+    t.stamp <- grown
+  end;
+  if t.stamp.(id) <> t.gen then begin
+    t.stamp.(id) <- t.gen;
+    if t.n = Array.length t.order then begin
+      let grown = Array.make (2 * t.n) 0 in
+      Array.blit t.order 0 grown 0 t.n;
+      t.order <- grown
+    end;
+    t.order.(t.n) <- id;
+    t.n <- t.n + 1
+  end
+
+let blocks t = List.init t.n (fun i -> t.order.(i))
+
+let reset t =
+  t.n <- 0;
+  t.gen <- t.gen + 1

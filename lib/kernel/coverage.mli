@@ -7,7 +7,10 @@
     HEALER's per-call coverage. *)
 
 type t
-(** A coverage collector (one per executing virtual machine). *)
+(** A coverage collector (one per executing virtual machine).
+    Collectors are designed for reuse: [reset] is O(1) (a generation
+    bump, not a wipe), so a single collector serves every execution
+    of a long campaign without per-window allocation. *)
 
 val create : unit -> t
 
@@ -31,7 +34,15 @@ val region : name:string -> size:int -> int
 val region_name : int -> string
 (** [region_name id] is the name of the region containing branch [id],
     or ["?"] if the id was never allocated. Used by the crash
-    symbolizer and by coverage reports. *)
+    symbolizer and by coverage reports. Binary search over the sorted
+    region array, O(log regions). *)
+
+val force_regions : unit -> unit
+(** Build the sorted lookup array for [region_name] now. Must be
+    called (via [Kernel.force_init]) before sharing the registry
+    across domains: lookups lazily rebuild the array when the
+    registry grew, which is a data race if the first lookups happen
+    concurrently. *)
 
 val total_allocated : unit -> int
 (** Total number of branch ids allocated across all regions. *)

@@ -85,6 +85,8 @@ let symbols =
        Bug.catalog;
      tbl)
 
+let preload () = ignore (Lazy.force symbols)
+
 let find_line pred log =
   List.find_opt pred (String.split_on_char '\n' log)
 

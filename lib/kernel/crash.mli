@@ -25,6 +25,11 @@ val render_log : bug_key:string -> risk:Risk.t -> call_name:string -> string
 (** A KASAN/KCSAN-style multi-line crash log containing only raw
     addresses and boilerplate. *)
 
+val preload : unit -> unit
+(** Force the lazily built symbol table. Forcing a lazy from several
+    domains at once is a race; {!Kernel.force_init} calls this before
+    any domain spawns. *)
+
 val symbolize : string -> (string * Risk.t) option
 (** Parse a raw log back to [(bug_key, risk)] by resolving the faulting
     address against the bug catalog's symbol table. [None] if the log is

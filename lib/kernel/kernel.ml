@@ -102,6 +102,20 @@ let state k = k.st
 let sanitizers k = k.san
 let features k = k.features
 
+(* Settle every piece of process-global kernel state — the subsystem
+   registry, the memoized target, the lazy dispatch tables, the crash
+   symbol table and the coverage-region lookup array — while still
+   single-domain. After this returns, all of that state is read-only,
+   so campaigns may run in parallel domains against it. *)
+let force_init () =
+  ignore (subsystems ());
+  ignore (target ());
+  ignore (Lazy.force handler_table);
+  ignore (Lazy.force subsystem_index);
+  ignore (Lazy.force line_index);
+  Crash.preload ();
+  Coverage.force_regions ()
+
 let blk = Coverage.region ~name:"core" ~size:64
 
 let exec_call k ?(fault = false) ~cov (call : Syscall.t) args =

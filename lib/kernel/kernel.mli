@@ -29,6 +29,14 @@ val subsystem_of : string -> string
     handler serves the call, or ["?"] for unknown names. Used by the
     Moonshine baseline's read-write dependency approximation. *)
 
+val force_init : unit -> unit
+(** Force every lazily initialized process-global (subsystem registry,
+    memoized target, handler/subsystem/line dispatch tables, crash
+    symbol table, coverage-region lookup). The globals are read-only
+    afterwards, making kernel boots and executions safe from multiple
+    domains. Must be called before spawning any domain that touches
+    the kernel; {!Healer_core.Campaign.run_matrix} does so. *)
+
 val boot :
   ?san:Sanitizer.config ->
   ?features:string list ->

@@ -43,16 +43,32 @@ let add_seq t ids =
       end)
     0 ids
 
+let remove t i =
+  let byte = i / 8 and bit = 1 lsl (i mod 8) in
+  if byte < Bytes.length t.bits then begin
+    let cur = Char.code (Bytes.get t.bits byte) in
+    if cur land bit <> 0 then begin
+      Bytes.set t.bits byte (Char.chr (cur land lnot bit));
+      t.card <- t.card - 1
+    end
+  end
+
 let new_of t ids =
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun i ->
-      if mem t i || Hashtbl.mem seen i then false
+  (* Fresh ids are marked in the set itself while scanning (collapsing
+     duplicates within [ids]) and unmarked before returning, so the
+     per-call scratch table is gone from this hot path. *)
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | i :: rest ->
+      if mem t i then scan acc rest
       else begin
-        Hashtbl.add seen i ();
-        true
-      end)
-    ids
+        add t i;
+        scan (i :: acc) rest
+      end
+  in
+  let fresh = scan [] ids in
+  List.iter (remove t) fresh;
+  fresh
 
 let iter f t =
   for byte = 0 to Bytes.length t.bits - 1 do

@@ -1,0 +1,108 @@
+type t = {
+  m : Mutex.t;
+  have_work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Workers drain the queue until shutdown; a job never carries an
+   exception out of the closure (map wraps it into the result slot),
+   so a worker only exits on [shutdown]. *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.m;
+    let rec dequeue () =
+      match Queue.take_opt t.queue with
+      | Some job -> Some job
+      | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.have_work t.m;
+          dequeue ()
+        end
+    in
+    let job = dequeue () in
+    Mutex.unlock t.m;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      next ()
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be positive";
+  let t =
+    {
+      m = Mutex.create ();
+      have_work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let map t f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Mutex.lock t.m;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.map: pool is shut down"
+    end;
+    Array.iteri
+      (fun i x ->
+        Queue.push
+          (fun () ->
+            let r =
+              try Ok (f x)
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock t.m;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock t.m)
+          t.queue)
+      input;
+    Condition.broadcast t.have_work;
+    while !remaining > 0 do
+      Condition.wait all_done t.m
+    done;
+    Mutex.unlock t.m;
+    (* Every slot settled: re-raise the earliest failure, else collect
+       in input order. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ws = t.workers in
+  t.stopping <- true;
+  t.workers <- [||];
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

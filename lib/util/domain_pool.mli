@@ -1,0 +1,37 @@
+(** Fixed-size OCaml 5 domain worker pool.
+
+    A hand-rolled stdlib-only pool (no [domainslib]): a fixed set of
+    worker domains pulls thunks off a [Mutex]/[Condition]-protected
+    queue. Built for coarse-grained, embarrassingly parallel jobs —
+    independent fuzzing campaigns — not fine-grained tasking: jobs
+    should be orders of magnitude longer than a queue round-trip.
+
+    Jobs must only touch data that is private to them or immutable;
+    the pool provides ordering of results, not synchronization of
+    shared state. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] worker domains. Raises [Invalid_argument]
+    when [jobs < 1]. Counting the caller, the process uses [jobs + 1]
+    domains while a [map] is in flight. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element of [xs] across the pool's
+    workers and returns the results in input order, regardless of
+    completion order. If any job raised, the exception of the
+    earliest (by input position) failed job is re-raised after all
+    jobs have settled, with its original backtrace. Raises
+    [Invalid_argument] if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Finish queued work, then join every worker. Idempotent; the pool
+    cannot be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)

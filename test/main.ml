@@ -20,5 +20,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("triage-fuzzer", Test_triage_fuzzer.suite);
       ("persist", Test_persist.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,148 @@
+(* The domain pool and the parallel campaign engine: result ordering,
+   exception propagation, and the regression that matters most —
+   a parallel matrix is indistinguishable from a sequential one. *)
+
+module Domain_pool = Healer_util.Domain_pool
+module K = Healer_kernel
+open Healer_core
+open Helpers
+
+(* ---- Domain_pool ---- *)
+
+let test_pool_map_order () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 (fun i -> i) in
+      Alcotest.(check (list int))
+        "results in input order, whatever the completion order"
+        (List.map (fun i -> i * i) xs)
+        (Domain_pool.map pool (fun i -> i * i) xs);
+      Alcotest.(check (list int)) "empty input" [] (Domain_pool.map pool (fun i -> i) []))
+
+let test_pool_exception_propagation () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "earliest failing job wins" (Failure "boom 3")
+        (fun () ->
+          ignore
+            (Domain_pool.map pool
+               (fun i ->
+                 if i mod 7 = 3 then failwith ("boom " ^ string_of_int i) else i)
+               (List.init 20 (fun i -> i))));
+      (* The pool survives a failed map. *)
+      Alcotest.(check (list int)) "usable after exception" [ 2; 4 ]
+        (Domain_pool.map pool (fun i -> 2 * i) [ 1; 2 ]))
+
+let test_pool_size_one_equivalence () =
+  let xs = List.init 25 (fun i -> i + 1) in
+  let f i = (i * 37) mod 11 in
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "size-1 pool behaves like List.map"
+        (List.map f xs) (Domain_pool.map pool f xs))
+
+let test_pool_reuse () =
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check int) "size" 2 (Domain_pool.size pool);
+      for round = 1 to 3 do
+        let xs = List.init (10 * round) (fun i -> i) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "map round %d" round)
+          (List.map (fun i -> i + round) xs)
+          (Domain_pool.map pool (fun i -> i + round) xs)
+      done)
+
+let test_pool_lifecycle () =
+  (match Domain_pool.create ~jobs:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 must be rejected");
+  let pool = Domain_pool.create ~jobs:2 in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  match Domain_pool.map pool (fun i -> i) [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "map after shutdown must be rejected"
+
+(* ---- parallel campaign matrix determinism ---- *)
+
+let crash_view (r : Campaign.run) =
+  List.map
+    (fun (c : Triage.record) ->
+      (c.Triage.bug_key, c.Triage.first_found, c.Triage.repro_len))
+    r.Campaign.crashes
+
+let check_run_equal label (a : Campaign.run) (b : Campaign.run) =
+  Alcotest.(check int) (label ^ ": coverage") a.Campaign.final_cov b.Campaign.final_cov;
+  Alcotest.(check int) (label ^ ": execs") a.Campaign.execs b.Campaign.execs;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    (label ^ ": samples") a.Campaign.samples b.Campaign.samples;
+  Alcotest.(check int) (label ^ ": corpus size") a.Campaign.corpus_size
+    b.Campaign.corpus_size;
+  Alcotest.(check (list int))
+    (label ^ ": corpus lengths") a.Campaign.corpus_lengths b.Campaign.corpus_lengths;
+  Alcotest.(check int) (label ^ ": relations") a.Campaign.relations b.Campaign.relations;
+  Alcotest.(check (list (triple string (float 0.0) int)))
+    (label ^ ": crashes") (crash_view a) (crash_view b);
+  Alcotest.(check int)
+    (label ^ ": snapshots")
+    (List.length a.Campaign.relation_snapshots)
+    (List.length b.Campaign.relation_snapshots)
+
+let test_run_matrix_deterministic () =
+  let h = 0.05 in
+  let specs =
+    [
+      (Fuzzer.Healer, K.Version.V5_11, 1, h);
+      (Fuzzer.Healer, K.Version.V5_11, 2, h);
+      (Fuzzer.Syzkaller, K.Version.V5_11, 1, h);
+      (Fuzzer.Moonshine, K.Version.V4_19, 1, h);
+      (Fuzzer.Healer_minus, K.Version.V5_4, 1, h);
+    ]
+  in
+  let sequential = Campaign.run_matrix ~jobs:1 specs in
+  let parallel = Campaign.run_matrix ~jobs:3 specs in
+  Alcotest.(check int) "same cardinality" (List.length sequential)
+    (List.length parallel);
+  List.iteri
+    (fun i ((tool, version, seed, _), (s, p)) ->
+      let label =
+        Printf.sprintf "%s/%s/%d" (Fuzzer.tool_name tool)
+          (K.Version.to_string version) seed
+      in
+      (* Results come back in input order... *)
+      Alcotest.(check string)
+        (Printf.sprintf "spec %d tool" i)
+        (Fuzzer.tool_name tool)
+        (Fuzzer.tool_name s.Campaign.tool);
+      Alcotest.(check string)
+        (Printf.sprintf "spec %d tool (parallel)" i)
+        (Fuzzer.tool_name tool)
+        (Fuzzer.tool_name p.Campaign.tool);
+      (* ...and every observable statistic matches the sequential run. *)
+      check_run_equal label s p)
+    (List.combine specs (List.combine sequential parallel))
+
+let test_compare_tools_parallel () =
+  let seq =
+    Campaign.compare_tools ~jobs:1 ~hours:0.05 ~rounds:2 ~subject:Fuzzer.Healer
+      ~base:Fuzzer.Syzkaller K.Version.V5_11
+  in
+  let par =
+    Campaign.compare_tools ~jobs:2 ~hours:0.05 ~rounds:2 ~subject:Fuzzer.Healer
+      ~base:Fuzzer.Syzkaller K.Version.V5_11
+  in
+  Alcotest.(check (float 0.0)) "avg improvement" seq.Campaign.avg_impr
+    par.Campaign.avg_impr;
+  Alcotest.(check (float 0.0)) "min improvement" seq.Campaign.min_impr
+    par.Campaign.min_impr;
+  Alcotest.(check (float 0.0)) "max improvement" seq.Campaign.max_impr
+    par.Campaign.max_impr
+
+let suite =
+  [
+    case "pool map keeps input order" test_pool_map_order;
+    case "pool propagates exceptions" test_pool_exception_propagation;
+    case "pool size 1 equals List.map" test_pool_size_one_equivalence;
+    case "pool reuse across maps" test_pool_reuse;
+    case "pool lifecycle errors" test_pool_lifecycle;
+    case "run_matrix parallel == sequential" test_run_matrix_deterministic;
+    case "compare_tools parallel == sequential" test_compare_tools_parallel;
+  ]

@@ -104,7 +104,13 @@ let test_bitset_new_of () =
   let b = Bitset.create () in
   ignore (Bitset.add_seq b [ 1; 2 ]);
   Alcotest.(check (list int)) "new only" [ 3 ] (Bitset.new_of b [ 1; 3; 3; 2 ]);
-  Alcotest.(check bool) "no mutation" false (Bitset.mem b 3)
+  Alcotest.(check bool) "no mutation" false (Bitset.mem b 3);
+  (* The mark/unmark implementation must restore cardinality and cope
+     with ids past the current capacity. *)
+  Alcotest.(check int) "count restored" 2 (Bitset.count b);
+  Alcotest.(check (list int)) "order kept, growth ok" [ 9000; 4; 8999 ]
+    (Bitset.new_of b [ 9000; 4; 9000; 2; 8999 ]);
+  Alcotest.(check int) "count still restored" 2 (Bitset.count b)
 
 let test_bitset_union_copy_clear () =
   let a = Bitset.create () and b = Bitset.create () in
