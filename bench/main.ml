@@ -513,12 +513,25 @@ let micro () =
       Test.make ~name:"choice table select"
         (Staged.stage (fun () ->
              ignore (Choice_table.select rng choice ~bias:(Some 3))));
-      Test.make ~name:"generate test case"
+      (* Validator overhead: identical generation workload with debug
+         validation off (production) vs on (the dune-runtest mode). *)
+      Test.make ~name:"generate (validate off)"
         (Staged.stage (fun () ->
              ignore
                (Gen.generate rng target
                   ~select:(fun ~sub:_ -> Healer_util.Rng.int rng (Target.n_syscalls target))
                   ())));
+      Test.make ~name:"generate (validate on)"
+        (Staged.stage (fun () ->
+             Healer_executor.Progcheck.set_debug true;
+             Fun.protect
+               ~finally:(fun () -> Healer_executor.Progcheck.set_debug false)
+               (fun () ->
+                 ignore
+                   (Gen.generate rng target
+                      ~select:(fun ~sub:_ ->
+                        Healer_util.Rng.int rng (Target.n_syscalls target))
+                      ()))));
       Test.make ~name:"relation table set/get"
         (Staged.stage (fun () ->
              let t = Relation_table.create 64 in

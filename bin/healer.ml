@@ -296,7 +296,98 @@ let file_pos_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Description file; default: built-in corpus.")
 
-let run_analyze file json list_checks =
+let severity_conv =
+  let parse = function
+    | "error" -> Ok Diagnostic.Error
+    | "warning" -> Ok Diagnostic.Warning
+    | "info" -> Ok Diagnostic.Info
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown severity %S (error|warning|info)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Diagnostic.severity_to_string s))
+
+let severity_arg =
+  Arg.(
+    value
+    & opt severity_conv Diagnostic.Info
+    & info [ "severity" ] ~docv:"LEVEL"
+        ~doc:
+          "Minimum severity to report: $(b,error), $(b,warning) or \
+           $(b,info) (default: everything).")
+
+let only_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "only" ] ~docv:"CHECK_ID"
+        ~doc:"Report only this check ID (repeatable; see $(b,--list-checks)).")
+
+(* Diagnostic filters shared by the description and program modes. *)
+let apply_filters ~min_sev ~only ds =
+  let ds =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        Diagnostic.severity_rank d.Diagnostic.severity
+        <= Diagnostic.severity_rank min_sev)
+      ds
+  in
+  match only with
+  | [] -> ds
+  | ids ->
+    List.filter (fun (d : Diagnostic.t) -> List.mem d.Diagnostic.check ids) ds
+
+let check_only_ids only =
+  let known = List.map (fun (id, _, _, _) -> id) Analysis.all_checks in
+  List.iter
+    (fun id ->
+      if not (List.mem id known) then begin
+        Fmt.epr "error: unknown check ID %S (see --list-checks)@." id;
+        exit 2
+      end)
+    only
+
+(* Program-corpus mode: validate persisted archives and/or the
+   built-in seed corpora against the kernel target. *)
+let run_analyze_progs prog seed_corpus json min_sev only =
+  or_die @@ fun () ->
+  let target = K.Kernel.target () in
+  let named =
+    (match prog with
+    | Some path ->
+      Persist.load_corpus target ~path
+      |> List.mapi (fun i p -> (Some (Printf.sprintf "%s#%d" path i), p))
+    | None -> [])
+    @
+    if seed_corpus then
+      (Seeds.traces target
+      |> List.mapi (fun i p -> (Some (Printf.sprintf "seeds/traces#%d" i), p)))
+      @ (Seeds.distilled target
+        |> List.mapi (fun i p ->
+               (Some (Printf.sprintf "seeds/distilled#%d" i), p)))
+    else []
+  in
+  let ds =
+    Healer_analysis.Progcheck.validate target named
+    |> apply_filters ~min_sev ~only
+  in
+  if json then
+    Fmt.pr "%s@."
+      (Healer_analysis.Progcheck.report_to_json ~name:(Target.name target)
+         ~programs:(List.length named) ds)
+  else begin
+    List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds;
+    List.iter
+      (fun (id, n) -> Fmt.pr "  %-22s %4d@." id n)
+      (Healer_analysis.Progcheck.count_by_check ds);
+    Fmt.pr "%d programs: %d errors, %d warnings, %d notes@."
+      (List.length named)
+      (Diagnostic.count Diagnostic.Error ds)
+      (Diagnostic.count Diagnostic.Warning ds)
+      (Diagnostic.count Diagnostic.Info ds)
+  end;
+  if Diagnostic.has_errors ds then exit 1
+
+let run_analyze file prog seed_corpus json list_checks min_sev only =
   if list_checks then
     List.iter
       (fun (id, sev, doc, pass) ->
@@ -305,18 +396,25 @@ let run_analyze file json list_checks =
           pass doc)
       Analysis.all_checks
   else begin
-    let input = analysis_input file in
-    let ds = Analysis.run input in
-    if json then Fmt.pr "%s@." (Diagnostic.list_to_json ~name:input.Healer_analysis.Pass.name ds)
+    check_only_ids only;
+    if prog <> None || seed_corpus then
+      run_analyze_progs prog seed_corpus json min_sev only
     else begin
-      List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds;
-      Fmt.pr "%s: %d errors, %d warnings, %d notes@."
-        input.Healer_analysis.Pass.name
-        (Diagnostic.count Diagnostic.Error ds)
-        (Diagnostic.count Diagnostic.Warning ds)
-        (Diagnostic.count Diagnostic.Info ds)
-    end;
-    if Diagnostic.has_errors ds then exit 1
+      let input = analysis_input file in
+      let ds = Analysis.run input |> apply_filters ~min_sev ~only in
+      if json then
+        Fmt.pr "%s@."
+          (Diagnostic.list_to_json ~name:input.Healer_analysis.Pass.name ds)
+      else begin
+        List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds;
+        Fmt.pr "%s: %d errors, %d warnings, %d notes@."
+          input.Healer_analysis.Pass.name
+          (Diagnostic.count Diagnostic.Error ds)
+          (Diagnostic.count Diagnostic.Warning ds)
+          (Diagnostic.count Diagnostic.Info ds)
+      end;
+      if Diagnostic.has_errors ds then exit 1
+    end
   end
 
 let analyze_cmd =
@@ -326,15 +424,33 @@ let analyze_cmd =
          "Run the multi-pass static analyzer (description semantics, \
           reachability fixpoint, handler drift, static-relation soundness, \
           corpus hygiene) over a description file or the built-in \
-          19-subsystem corpus. Exits non-zero when any Error-severity \
-          diagnostic is reported.")
+          19-subsystem corpus; or, with $(b,--prog) / $(b,--seed-corpus), \
+          run the program validator (the $(b,prog-*) checks: typed value \
+          conformance and resource dataflow) over persisted corpus \
+          archives or the built-in seed corpora. Exits non-zero when any \
+          Error-severity diagnostic is reported.")
     Term.(
       const run_analyze $ file_pos_arg
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "prog" ] ~docv:"FILE"
+              ~doc:
+                "Validate the programs of a persisted corpus archive (as \
+                 written by $(b,fuzz --save-corpus)) instead of analyzing \
+                 descriptions.")
+      $ Arg.(
+          value & flag
+          & info [ "seed-corpus" ]
+              ~doc:
+                "Validate the built-in seed corpora (synthetic traces and \
+                 their distilled form).")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
       $ Arg.(
           value & flag
           & info [ "list-checks" ]
-              ~doc:"List every check ID with its severity and pass, then exit."))
+              ~doc:"List every check ID with its severity and pass, then exit.")
+      $ severity_arg $ only_arg)
 
 (* Deprecated: kept as a thin alias over the analyzer's lint pass so
    existing invocations keep working. *)

@@ -12,14 +12,16 @@ let passes : Pass.t list =
   [ Semantics.pass; Reachability.pass; Drift.pass; Relations.pass; Lint.pass ]
 
 (* Every (check ID, severity, description, pass name), for docs and
-   `healer analyze --list-checks`. Loader pseudo-checks included. *)
+   `healer analyze --list-checks`. Loader pseudo-checks and the
+   program validator's checks included. *)
 let all_checks =
-  (("parse-error", Diagnostic.Error, "description does not parse", "loader")
+  ("parse-error", Diagnostic.Error, "description does not parse", "loader")
   :: ("compile-error", Diagnostic.Error, "description does not compile", "loader")
   :: List.concat_map
        (fun (p : Pass.t) ->
          List.map (fun (id, sev, doc) -> (id, sev, doc, p.Pass.pass_name)) p.Pass.checks)
-       passes)
+       passes
+  @ List.map (fun (id, sev, doc) -> (id, sev, doc, "progcheck")) Progcheck.checks
 
 let run ?(passes = passes) (input : Pass.input) =
   let ds =

@@ -28,7 +28,7 @@ let learn_one ~exec ~table (pc : Prog_cov.t) =
 let learn ~exec ~table minimized =
   List.concat_map (learn_one ~exec ~table) minimized
 
-let learn_from_run ~exec ~table pc =
-  let minimized = Minimize.minimize ~exec pc in
+let learn_from_run ?target ~exec ~table pc =
+  let minimized = Minimize.minimize ?target ~exec pc in
   let relations = learn ~exec ~table minimized in
   (relations, minimized)

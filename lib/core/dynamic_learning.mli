@@ -18,10 +18,13 @@ val learn :
     the newly learned (i, j) syscall-id pairs. *)
 
 val learn_from_run :
+  ?target:Healer_syzlang.Target.t ->
   exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
   table:Relation_table.t ->
   Prog_cov.t ->
   (int * int) list * Prog_cov.t list
 (** Full pipeline on an interesting test case: minimize (Algorithm 1),
     then learn (Algorithm 2). Returns the new relations and the
-    minimized subsequences (for corpus insertion). *)
+    minimized subsequences (for corpus insertion). [target] is passed
+    to {!Minimize.minimize} for debug validation of the minimized
+    subsequences. *)

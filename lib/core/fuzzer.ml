@@ -266,7 +266,7 @@ let step t =
       let interesting = Feedback.is_interesting new_cov in
       if interesting then begin
         let pc = Prog_cov.of_run prog r ~new_cov in
-        let minimized = Minimize.minimize ~exec:(exec_plain t) pc in
+        let minimized = Minimize.minimize ~target:t.tgt ~exec:(exec_plain t) pc in
         (match (t.cfg.tool, t.rel) with
         | Healer, Some table when t.cfg.use_dynamic_learning ->
           ignore (Dynamic_learning.learn ~exec:(exec_plain t) ~table minimized)

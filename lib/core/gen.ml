@@ -39,4 +39,5 @@ let generate rng target ~select () =
       p := Builder.insert_call rng target !p ~at call
     end
   done;
+  Healer_executor.Progcheck.debug_check ~what:"Gen.generate" target !p;
   !p

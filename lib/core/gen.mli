@@ -13,7 +13,11 @@ val generate :
   unit ->
   Healer_executor.Prog.t
 (** [select ~sub] returns the syscall id to insert after the calls
-    whose ids are [sub]. *)
+    whose ids are [sub].
+
+    Under {!Healer_executor.Progcheck} debug validation
+    ([HEALER_DEBUG_VALIDATE]) the generated program is asserted
+    validator-clean before it is returned. *)
 
 val syscall_ids : Healer_executor.Prog.t -> upto:int -> int list
 (** The ids of the first [upto] calls (the sub-sequence S fed to call

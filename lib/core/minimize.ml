@@ -8,7 +8,7 @@ module Exec = Healer_executor.Exec
    to remove every earlier call, keeping a removal when C_i's per-call
    coverage is preserved, and reserving the calls that could not be
    removed. *)
-let minimize ~exec (pc : Prog_cov.t) =
+let minimize ?target ~exec (pc : Prog_cov.t) =
   let p = pc.Prog_cov.prog in
   let n = Prog.length p in
   let reserved = Hashtbl.create 16 in
@@ -48,6 +48,10 @@ let minimize ~exec (pc : Prog_cov.t) =
                seed its own subsequence. *)
             Hashtbl.replace reserved j ()
       done;
+      Option.iter
+        (fun t ->
+          Healer_executor.Progcheck.debug_check ~what:"Minimize.minimize" t !p')
+        target;
       out := Prog_cov.observe ~exec !p' :: !out
     end
   done;

@@ -9,10 +9,16 @@
     unchanged. *)
 
 val minimize :
+  ?target:Healer_syzlang.Target.t ->
   exec:(Healer_executor.Prog.t -> Healer_executor.Exec.run_result) ->
   Prog_cov.t ->
   Prog_cov.t list
 (** [minimize ~exec pc] where [pc] bundles the program, its per-call
     coverage and per-call new coverage. Each returned subsequence ends
     at a call that contributed new coverage. The [exec] callback is
-    also how execution cost is charged to the caller's clock. *)
+    also how execution cost is charged to the caller's clock.
+
+    When [target] is given and {!Healer_executor.Progcheck} debug
+    validation is enabled, every minimized subsequence is asserted
+    validator-clean before it is returned (removal must only shift or
+    degrade references, never corrupt types). *)

@@ -41,8 +41,13 @@ let remove_random rng (p : Prog.t) =
 
 let mutate rng target ~select p =
   if Prog.length p = 0 then p
-  else
-    match Rng.weighted rng [ (`Insert, 60); (`Args, 30); (`Remove, 10) ] with
-    | `Insert -> insert_guided rng target ~select p
-    | `Args -> mutate_args rng target p
-    | `Remove -> remove_random rng p
+  else begin
+    let p' =
+      match Rng.weighted rng [ (`Insert, 60); (`Args, 30); (`Remove, 10) ] with
+      | `Insert -> insert_guided rng target ~select p
+      | `Args -> mutate_args rng target p
+      | `Remove -> remove_random rng p
+    in
+    Healer_executor.Progcheck.debug_check ~what:"Mutate.mutate" target p';
+    p'
+  end

@@ -12,4 +12,8 @@ val mutate :
   Healer_executor.Prog.t ->
   Healer_executor.Prog.t
 (** Never returns an empty program; falls back to argument mutation on
-    singleton sequences. *)
+    singleton sequences.
+
+    Under {!Healer_executor.Progcheck} debug validation
+    ([HEALER_DEBUG_VALIDATE]) the mutated program is asserted
+    validator-clean before it is returned. *)

@@ -69,13 +69,9 @@ let gen_buffer rng =
 let long_string rng =
   String.make (250 + Rng.int rng 64) (Char.chr (Char.code 'a' + Rng.int rng 26))
 
-let rec size_of_value = function
-  | Value.Int _ | Value.Res_ref _ | Value.Res_special _ | Value.Vma _ -> 8
-  | Value.Str s -> String.length s
-  | Value.Buf b -> Bytes.length b
-  | Value.Group vs -> List.fold_left (fun acc v -> acc + size_of_value v) 0 vs
-  | Value.Ptr v -> size_of_value v
-  | Value.Null -> 0
+(* One byte-size model shared with the validator's len-consistency
+   check (Progcheck): the two must never disagree. *)
+let size_of_value = Value.byte_size
 
 let rec gen_value rng ctx (ty : Ty.t) =
   match ty with
@@ -156,8 +152,14 @@ let mutate_buf rng b =
 let rec mutate_value rng ctx (ty : Ty.t) v =
   match (ty, v) with
   | Ty.Const _, _ -> v (* constants stay fixed; the kernel checks them *)
-  | Ty.Int { bits; range = _ }, Value.Int x ->
-    Value.Int (truncate_bits bits (mutate_int rng x))
+  | Ty.Int { bits; range }, Value.Int x -> (
+    match range with
+    | None -> Value.Int (truncate_bits bits (mutate_int rng x))
+    | Some _ ->
+      (* Ranged ints must stay in range: the kernel rejects the call
+         before reaching interesting code otherwise, and the validator
+         (prog-int-width) treats escapes as generator bugs. *)
+      Value.Int (gen_int rng bits range))
   | Ty.Flags name, Value.Int _ -> Value.Int (gen_flags rng ctx name)
   | Ty.Len _, (Value.Int x : Value.t) ->
     if Rng.chance rng 0.3 then Value.Int (mutate_int rng x) else v

@@ -130,4 +130,17 @@ let decode target s =
         { Prog.syscall; args })
   in
   if !pos <> String.length s then fail "trailing bytes";
-  Prog.of_list calls
+  let p = Prog.of_list calls in
+  (* Under HEALER_DEBUG_VALIDATE a syntactically well-formed encoding
+     of a type-invalid program is still malformed input: the decoder
+     is the trust boundary for persisted corpora. *)
+  if Progcheck.debug_enabled () then begin
+    match Progcheck.errors target p with
+    | [] -> ()
+    | errs ->
+      fail
+        (Fmt.str "@[<v>decoded program fails validation:@,%a@]"
+           Fmt.(list ~sep:cut Healer_util.Diagnostic.pp)
+           errs)
+  end;
+  p

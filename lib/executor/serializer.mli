@@ -11,7 +11,11 @@ val encode : Prog.t -> string
 
 val decode : Healer_syzlang.Target.t -> string -> Prog.t
 (** Raises {!Malformed} on truncated or corrupt input, or when a
-    syscall id does not exist in [target]. *)
+    syscall id does not exist in [target]. When
+    {!Progcheck.debug_enabled} is set, additionally raises
+    {!Malformed} if the decoded program has {!Progcheck} errors:
+    well-formed bytes encoding a type-invalid program are still
+    malformed input. *)
 
 val put_uvarint : Buffer.t -> int64 -> unit
 (** Exposed for tests. *)

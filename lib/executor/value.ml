@@ -24,6 +24,17 @@ let rec map_refs f v =
 
 let equal = ( = )
 
+(* The byte-size model shared by len[] resolution (Value_gen) and the
+   len-consistency check (Progcheck): scalars are 8 bytes, pointers are
+   transparent (a len names the pointee's payload), null is empty. *)
+let rec byte_size = function
+  | Int _ | Res_ref _ | Res_special _ | Vma _ -> 8
+  | Str s -> String.length s
+  | Buf b -> Bytes.length b
+  | Group vs -> List.fold_left (fun acc v -> acc + byte_size v) 0 vs
+  | Ptr v -> byte_size v
+  | Null -> 0
+
 let rec pp ppf = function
   | Int v -> Fmt.pf ppf "0x%Lx" v
   | Res_ref i -> Fmt.pf ppf "r%d" i

@@ -23,4 +23,11 @@ val map_refs : (int -> t option) -> t -> t
     [Some], recursively. Used to fix up references when calls move. *)
 
 val equal : t -> t -> bool
+
+val byte_size : t -> int
+(** Byte-size model used to resolve and validate [len\[...\]]
+    arguments: scalars count 8 bytes, strings/buffers their payload,
+    groups the sum of their members; pointers are transparent and
+    [Null] is 0. *)
+
 val pp : Format.formatter -> t -> unit

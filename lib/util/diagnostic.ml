@@ -1,0 +1,118 @@
+(* The diagnostics core shared by every analysis pass.
+
+   A diagnostic is a finding with a stable check ID (so CI gates and
+   suppressions survive message rewording), a severity, an optional
+   source position, the declaration it is about, and a human message.
+   Renderers: one-line human text and JSON. *)
+
+type severity = Error | Warning | Info
+
+(* [src] is a file name or a subsystem name; [line] is 1-based and
+   local to [src] when [src] is present. *)
+type pos = { src : string option; line : int }
+
+type t = {
+  check : string;  (* stable ID, e.g. "sem-len-target" *)
+  severity : severity;
+  pos : pos option;
+  subject : string;  (* declaration the finding is about, e.g. "call open" *)
+  message : string;
+}
+
+let v ?pos ~check ~severity ~subject message =
+  { check; severity; pos; subject; message }
+
+let vf ?pos ~check ~severity ~subject fmt =
+  Fmt.kstr (fun message -> v ?pos ~check ~severity ~subject message) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Errors first, then stable order by position, check and subject. *)
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let pos_key = function
+      | None -> ("", max_int)
+      | Some { src; line } -> (Option.value src ~default:"", line)
+    in
+    let c = Stdlib.compare (pos_key a.pos) (pos_key b.pos) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.check b.check in
+      if c <> 0 then c
+      else
+        let c = String.compare a.subject b.subject in
+        if c <> 0 then c else String.compare a.message b.message
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let pp_pos ppf = function
+  | { src = Some s; line } -> Fmt.pf ppf "%s:%d: " s line
+  | { src = None; line } -> Fmt.pf ppf "line %d: " line
+
+(* e.g. "vfs:41: error [sem-dir-conflict] call read: ..." *)
+let pp ppf d =
+  Fmt.pf ppf "%a%s [%s] %s: %s"
+    Fmt.(option pp_pos)
+    d.pos
+    (severity_to_string d.severity)
+    d.check d.subject d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(* ---- JSON (hand-rolled; the repo carries no JSON dependency) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pos_to_json = function
+  | None -> "null"
+  | Some { src; line } ->
+    let src_json =
+      match src with
+      | None -> "null"
+      | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+    in
+    Printf.sprintf "{\"src\":%s,\"line\":%d}" src_json line
+
+let to_json d =
+  Printf.sprintf
+    "{\"check\":\"%s\",\"severity\":\"%s\",\"pos\":%s,\"subject\":\"%s\",\"message\":\"%s\"}"
+    (json_escape d.check)
+    (severity_to_string d.severity)
+    (pos_to_json d.pos) (json_escape d.subject) (json_escape d.message)
+
+(* The full report document. *)
+let list_to_json ~name ds =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"target\":\"%s\",\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":["
+       (json_escape name) (count Error ds) (count Warning ds) (count Info ds));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (to_json d))
+    ds;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** The diagnostics core shared by every analysis pass and by the
+    program validator.
+
+    A diagnostic is a finding with a stable check ID (so CI gates and
+    suppressions survive message rewording), a severity, an optional
+    source position, the subject it is about, and a human message.
+    Lives in [Healer_util] so both the description analyzer
+    ([Healer_analysis]) and the program validator
+    ([Healer_executor.Progcheck]) can produce the same currency;
+    [Healer_analysis.Diagnostic] re-exports this module. *)
+
+type severity = Error | Warning | Info
+
+type pos = { src : string option; line : int }
+(** [src] is a file, subsystem or program name; [line] is 1-based and
+    local to [src] when [src] is present (for program diagnostics it is
+    the 1-based call index). *)
+
+type t = {
+  check : string;  (** stable ID, e.g. "sem-len-target" *)
+  severity : severity;
+  pos : pos option;
+  subject : string;  (** what the finding is about, e.g. "call open" *)
+  message : string;
+}
+
+val v :
+  ?pos:pos -> check:string -> severity:severity -> subject:string -> string -> t
+
+val vf :
+  ?pos:pos ->
+  check:string ->
+  severity:severity ->
+  subject:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+(** Errors first: [Error] = 0, [Warning] = 1, [Info] = 2. *)
+
+val compare : t -> t -> int
+(** Errors first, then stable order by position, check and subject. *)
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val json_escape : string -> string
+val to_json : t -> string
+
+val list_to_json : name:string -> t list -> string
+(** The full report document. *)

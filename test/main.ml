@@ -1,3 +1,8 @@
+(* The whole suite runs with program validation enforced: any stage
+   that emits a validator-dirty program fails loudly (the
+   HEALER_DEBUG_VALIDATE contract). *)
+let () = Healer_executor.Progcheck.set_debug true
+
 let () =
   Alcotest.run "healer"
     [
@@ -19,6 +24,7 @@ let () =
       ("genmut", Test_genmut.suite);
       ("baselines", Test_baselines.suite);
       ("triage-fuzzer", Test_triage_fuzzer.suite);
+      ("progcheck", Test_progcheck.suite);
       ("persist", Test_persist.suite);
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
