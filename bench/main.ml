@@ -486,11 +486,46 @@ let micro () =
       ~new_cov:(Array.map (fun (c : Healer_executor.Exec.call_result) -> c.Healer_executor.Exec.cov) sample_run.Healer_executor.Exec.calls)
   in
   let min_exec p = snd (Healer_executor.Exec.run ~cov:bench_cov kernel p) in
+  (* A deterministic netlink round-trip — rtnetlink link bring-up, a
+     generic-netlink family resolution and a queue drain — isolating
+     the nlmsghdr/TLV parsing hot path. *)
+  let netlink_prog =
+    let module V = Healer_executor.Value in
+    let nlcall name args =
+      { Healer_executor.Prog.syscall = Target.find_exn target name; args }
+    in
+    let iv n = V.Int (Int64.of_int n) in
+    let ifname = V.Group [ V.Group [ V.Group [ iv 8; iv 3; V.Str "eth0" ] ] ] in
+    Healer_executor.Prog.of_list
+      [
+        nlcall "socket$nl_route" [ iv 16; iv 3; iv 0 ];
+        nlcall "sendmsg$RTM_SETLINK"
+          [
+            V.Res_ref 0;
+            V.Ptr
+              (V.Group
+                 [ iv 32; iv 19; iv 0; iv 0;
+                   V.Group [ iv 0; iv 0; iv 0; iv 1; iv 1 ]; ifname ]);
+            iv 0;
+          ];
+        nlcall "socket$nl_generic" [ iv 16; iv 3; iv 16 ];
+        nlcall "sendmsg$GETFAMILY"
+          [
+            V.Res_ref 2;
+            V.Ptr (V.Group [ iv 32; iv 3; iv 2; V.Str "devlink" ]);
+            iv 0;
+          ];
+        nlcall "recvmsg$netlink" [ V.Res_ref 0; V.Buf (Bytes.make 64 'x'); iv 64; iv 0 ];
+      ]
+  in
   let tests =
     [
       Test.make ~name:"exec program"
         (Staged.stage (fun () ->
              ignore (Healer_executor.Exec.run ~cov:bench_cov kernel sample_prog)));
+      Test.make ~name:"netlink exec"
+        (Staged.stage (fun () ->
+             ignore (Healer_executor.Exec.run ~cov:bench_cov kernel netlink_prog)));
       Test.make ~name:"feedback process"
         (Staged.stage (fun () -> ignore (Feedback.process feedback sample_run)));
       Test.make ~name:"bitset new_of"

@@ -424,7 +424,7 @@ let analyze_cmd =
          "Run the multi-pass static analyzer (description semantics, \
           reachability fixpoint, handler drift, static-relation soundness, \
           corpus hygiene) over a description file or the built-in \
-          19-subsystem corpus; or, with $(b,--prog) / $(b,--seed-corpus), \
+          20-subsystem corpus; or, with $(b,--prog) / $(b,--seed-corpus), \
           run the program validator (the $(b,prog-*) checks: typed value \
           conformance and resource dataflow) over persisted corpus \
           archives or the built-in seed corpora. Exits non-zero when any \

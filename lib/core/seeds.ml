@@ -37,6 +37,12 @@ let scenarios =
       "ioctl$VIDIOC_STREAMON" ];
     [ "prctl$PR_SET_NAME"; "prctl$PR_GET_NAME"; "getrandom$DEFAULT" ];
     [ "clock_gettime$REALTIME"; "clock_gettime$MONOTONIC"; "times$SELF" ];
+    [ "socket$nl_route"; "sendmsg$RTM_NEWLINK"; "sendmsg$RTM_GETLINK";
+      "recvmsg$netlink" ];
+    [ "socket$nl_route"; "sendmsg$RTM_SETLINK"; "socket$packet";
+      "sendto$packet" ];
+    [ "socket$nl_generic"; "sendmsg$GETFAMILY"; "bind$nl_generic";
+      "sendmsg$genl" ];
   ]
 
 let noise_calls =

@@ -254,7 +254,24 @@ let table5_catalog =
       ~known:false ~len:5;
   ]
 
-let catalog = table4_catalog @ known_shared_catalog @ table5_catalog
+(* Netlink message-layer bugs injected with the rtnetlink/genetlink
+   subsystem; previously unknown, version-gated like Table 5. *)
+let netlink_catalog =
+  [
+    v "nla_parse_nested" ~sub:"Netlink"
+      ~ops:"rtnl_newlink / nla_parse_nested"
+      ~title:"uninit-value in nla_parse_nested" ~risk:Uninit_value
+      ~since:V5_4 ~known:false ~len:2;
+    v "rtnl_dump_ifinfo" ~sub:"Netlink" ~ops:"rtnl_dump_ifinfo / rtnl_dellink"
+      ~title:"out-of-bounds in rtnl_dump_ifinfo" ~risk:Out_of_bounds
+      ~since:V5_6 ~known:false ~len:5;
+    v "genl_rcv_msg" ~sub:"Netlink" ~ops:"genl_rcv_msg / genl_unregister_family"
+      ~title:"use-after-free in genl_rcv_msg" ~risk:Use_after_free
+      ~since:V5_11 ~known:false ~len:5;
+  ]
+
+let catalog =
+  table4_catalog @ known_shared_catalog @ table5_catalog @ netlink_catalog
 
 let by_key =
   let tbl = Hashtbl.create 128 in

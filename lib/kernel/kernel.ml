@@ -15,7 +15,8 @@ let all_subsystems =
     (let subs =
        [
          Vfs.sub; Memfd.sub; Sock.sub; Kvm.sub; Tty.sub; Fbdev.sub; Rdma.sub;
-         Uring.sub; Blockdev.sub; Sock_misc.sub; Netdev.sub; Jfs.sub;
+         Uring.sub; Blockdev.sub; Sock_misc.sub; Netdev.sub; Netlink.sub;
+         Jfs.sub;
          Mounts.sub; Vivid.sub; Usb.sub; Ipc.sub; Bpf.sub; Inotify.sub;
          Compat.sub;
        ]
@@ -35,7 +36,9 @@ let source () =
 let count_lines s =
   1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
 
-(* (subsystem, first global line, line count) per description block. *)
+(* (subsystem, first global line, line count) per description block,
+   sorted by start line — diagnostics resolve lines by binary search,
+   like [Coverage.region_name] does for branch ids. *)
 let line_index =
   lazy
     (let rec build start = function
@@ -44,14 +47,23 @@ let line_index =
          let n = count_lines s.descriptions in
          (s.name, start, n) :: build (start + n) rest
      in
-     build 1 (subsystems ()))
+     Array.of_list (build 1 (subsystems ())))
 
 let locate_line global =
-  List.find_map
-    (fun (name, start, n) ->
-      if global >= start && global < start + n then Some (name, global - start + 1)
-      else None)
-    (Lazy.force line_index)
+  let index = Lazy.force line_index in
+  (* Greatest block whose start is <= global. *)
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let _, start, _ = index.(mid) in
+      if start <= global then search (mid + 1) hi (Some index.(mid))
+      else search lo (mid - 1) best
+  in
+  match search 0 (Array.length index - 1) None with
+  | Some (name, start, n) when global < start + n ->
+    Some (name, global - start + 1)
+  | Some _ | None -> None
 
 let target_memo = ref None
 

@@ -26,6 +26,27 @@ let devs_of st =
   | Some (Netdevs t) -> t
   | Some _ | None -> failwith "netdev: state not initialized"
 
+(* State accessors for sibling subsystems (rtnetlink mutates the same
+   device table that the ioctl paths manage). *)
+
+let lookup st name = Hashtbl.find_opt (devs_of st) name
+
+let sorted_names st =
+  Hashtbl.fold (fun name _ acc -> name :: acc) (devs_of st) []
+  |> List.sort String.compare
+
+let device_count st = Hashtbl.length (devs_of st)
+
+let install st dev = Hashtbl.replace (devs_of st) dev.dname dev
+
+let remove st name =
+  let devs = devs_of st in
+  if Hashtbl.mem devs name then begin
+    Hashtbl.remove devs name;
+    true
+  end
+  else false
+
 let h_socket_packet ctx _args =
   c ctx 0;
   let entry = State.alloc_fd ctx.Ctx.st Packet_sock in

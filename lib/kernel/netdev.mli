@@ -15,4 +15,29 @@ type netdev = {
 type State.global += Netdevs of (string, netdev) Hashtbl.t
 type State.fd_kind += Packet_sock
 
+(** {2 Device-table accessors}
+
+    The rtnetlink subsystem ({!Netlink}) manages the same device table
+    through RTM_NEWLINK / RTM_DELLINK / RTM_SETLINK / RTM_NEWQDISC, so
+    the two subsystems share genuine cross-subsystem influence
+    relations (a netlink call unlocks packet-socket transmit paths). *)
+
+val devs_of : State.t -> (string, netdev) Hashtbl.t
+(** The live device table. Raises [Failure] before {!sub}'s init ran. *)
+
+val fresh : string -> netdev
+(** A new down device with default qdisc. *)
+
+val lookup : State.t -> string -> netdev option
+val sorted_names : State.t -> string list
+(** Device names in lexicographic order (the dump iteration order). *)
+
+val device_count : State.t -> int
+
+val install : State.t -> netdev -> unit
+(** Insert (or replace) a device under its own name. *)
+
+val remove : State.t -> string -> bool
+(** Unregister a device; false when absent. *)
+
 val sub : Subsystem.t

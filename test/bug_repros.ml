@@ -573,4 +573,63 @@ let all : repro list =
             call "mount$reiserfs"
               [ s "/dev/loop0"; s "/mnt/a"; Value.Buf (Bytes.of_string "jdev=1") ];
           ]);
+    (* ---- Netlink ---- *)
+    (* Truncated IFLA_INFO_KIND "vlan": the claimed 40-byte attribute
+       carries only a 4-byte payload, so the nested policy walk reads
+       uninitialized message tail. *)
+    r ~v:V5_4 "nla_parse_nested" (fun () ->
+        prog
+          [
+            call "socket$nl_route" [ i 16L; i 3L; i 0L ];
+            call "sendmsg$RTM_NEWLINK"
+              [
+                Helpers.r 0;
+                group
+                  [
+                    iv 32; iv 16; i 0x401L; i 0L;
+                    Value.Group [ i 0L; i 0L; i 0L; i 0L; i 0L ];
+                    Value.Group
+                      [ Value.Group [ Value.Group [ iv 40; iv 1; s "vlan" ] ] ];
+                  ];
+                i 0L;
+              ];
+          ]);
+    (* Dump batch 1 records offset 2 of 3 links; deleting dummy0 shrinks
+       the table to 2 before the resume indexes slot 2. *)
+    r ~v:V5_6 "rtnl_dump_ifinfo" (fun () ->
+        let ifi = Value.Group [ i 0L; i 0L; i 0L; i 0L; i 0L ] in
+        let ifname_attr =
+          Value.Group
+            [ Value.Group [ Value.Group [ iv 10; iv 3; s "dummy0" ] ] ]
+        in
+        prog
+          [
+            call "socket$nl_route" [ i 16L; i 3L; i 0L ];
+            call "sendmsg$RTM_NEWLINK"
+              [ Helpers.r 0; group [ iv 32; iv 16; i 0x401L; i 0L; ifi; ifname_attr ]; i 0L ];
+            call "sendmsg$RTM_GETLINK"
+              [ Helpers.r 0; group [ iv 32; iv 18; i 0x301L; i 0L; ifi; Value.Group [] ]; i 0L ];
+            call "sendmsg$RTM_DELLINK"
+              [ Helpers.r 0; group [ iv 32; iv 17; i 0x1L; i 0L; ifi; ifname_attr ]; i 0L ];
+            call "sendmsg$RTM_GETLINK"
+              [ Helpers.r 0; group [ iv 32; iv 18; i 0x301L; i 0L; ifi; Value.Group [] ]; i 0L ];
+          ]);
+    (* GETFAMILY resolves devlink's runtime id, the socket binds to it,
+       unregister frees the family, and the next send dispatches through
+       the stale pointer. *)
+    r ~v:V5_11 "genl_rcv_msg" (fun () ->
+        prog
+          [
+            call "socket$nl_generic" [ i 16L; i 3L; i 16L ];
+            call "sendmsg$GETFAMILY"
+              [ Helpers.r 0; group [ iv 32; iv 3; iv 2; s "devlink" ]; i 0L ];
+            call "bind$nl_generic" [ Helpers.r 0; Helpers.r 1 ];
+            call "sendmsg$nlctrl_unregister" [ Helpers.r 0; Helpers.r 1; i 0L ];
+            call "sendmsg$genl"
+              [
+                Helpers.r 0; Helpers.r 1;
+                group [ iv 32; iv 1; iv 1; Value.Group [] ];
+                i 0L;
+              ];
+          ]);
   ]

@@ -20,6 +20,7 @@ let () =
       ("kernel-ipc", Test_kernel_ipc.suite);
       ("kernel-ext", Test_kernel_ext.suite);
       ("kernel-bpf-inotify", Test_kernel_bpf.suite);
+      ("kernel-netlink", Test_kernel_netlink.suite);
       ("learning", Test_learning.suite);
       ("genmut", Test_genmut.suite);
       ("baselines", Test_baselines.suite);

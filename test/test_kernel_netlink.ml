@@ -1,0 +1,481 @@
+(* Netlink subsystem: rtnetlink link/addr/qdisc management, generic
+   netlink family resolution, and the cross-subsystem influence on the
+   netdev device table. *)
+
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module K = Healer_kernel
+module Exec = Healer_executor.Exec
+module Value = Healer_executor.Value
+open Healer_core
+open Helpers
+
+(* ---- message builders (mirroring the syzlang layouts) ---- *)
+
+let ifi ?(idx = 0) ?(flags = 0) ?(change = 0) () =
+  Value.Group [ i 0L; i 0L; iv idx; iv flags; iv change ]
+
+let ifa ?(plen = 24) ?(idx = 0) () =
+  Value.Group [ i 0L; iv plen; i 0L; i 0L; iv idx ]
+
+let tcm ?(idx = 0) ?(parent = 0) () =
+  Value.Group [ i 0L; iv idx; i 0L; iv parent ]
+
+(* One rt_attr array element: union wrapper around the struct fields. *)
+let attr fields = Value.Group [ Value.Group fields ]
+let attrs l = Value.Group (List.map attr l)
+let ifname_attr name = [ iv (String.length name + 4); iv 3; s name ]
+let kind_attr ?alen k =
+  let alen = Option.value ~default:(String.length k + 4) alen in
+  [ iv alen; iv 1; s k ]
+let qlimit_attr limit = [ iv 8; iv 2; iv limit ]
+let addr_attr a = [ iv 12; iv 6; i a ]
+
+let rtmsg ~mtype ?(mflags = 0) ?(body = ifi ()) ?(atts = []) () =
+  group [ iv 32; iv mtype; iv mflags; i 0L; body; attrs atts ]
+
+let getfamily_msg name = group [ iv 32; iv 3; iv 2; s name ]
+let genl_msg ?(cmd = 1) () = group [ iv 32; iv cmd; iv 1; Value.Group [] ]
+
+let nl_route () = call "socket$nl_route" [ i 16L; i 3L; i 0L ]
+let nl_generic () = call "socket$nl_generic" [ i 16L; i 3L; i 16L ]
+
+let newlink fd ?(mflags = 0x400) atts =
+  call "sendmsg$RTM_NEWLINK" [ r fd; rtmsg ~mtype:16 ~mflags ~atts (); i 0L ]
+
+let setlink fd ~up name =
+  call "sendmsg$RTM_SETLINK"
+    [
+      r fd;
+      rtmsg ~mtype:19
+        ~body:(ifi ~flags:(if up then 1 else 0) ~change:1 ())
+        ~atts:[ ifname_attr name ] ();
+      i 0L;
+    ]
+
+(* ---- registration shape ---- *)
+
+let test_shape () =
+  let netlink_calls =
+    Array.to_list (Target.syscalls (tgt ()))
+    |> List.filter (fun sc ->
+           K.Kernel.subsystem_of sc.Syscall.name = "netlink")
+  in
+  Alcotest.(check int) "16 netlink interfaces" 16 (List.length netlink_calls);
+  Alcotest.(check string) "RTM_NEWLINK belongs to netlink" "netlink"
+    (K.Kernel.subsystem_of "sendmsg$RTM_NEWLINK")
+
+(* ---- rtnetlink link lifecycle ---- *)
+
+let test_link_lifecycle () =
+  let result =
+    run
+      (prog
+         [
+           nl_route ();
+           newlink 0 [ ifname_attr "dummy0" ];
+           newlink 0 ~mflags:0xc00 [ ifname_attr "dummy0" ];
+           newlink 0 ~mflags:0 [ ifname_attr "dummy0" ];
+           newlink 0 ~mflags:0 [ ifname_attr "nosuchdev" ];
+           call "sendmsg$RTM_DELLINK"
+             [ r 0; rtmsg ~mtype:17 ~atts:[ ifname_attr "dummy0" ] (); i 0L ];
+           call "sendmsg$RTM_DELLINK"
+             [ r 0; rtmsg ~mtype:17 ~atts:[ ifname_attr "dummy0" ] (); i 0L ];
+           call "sendmsg$RTM_DELLINK"
+             [ r 0; rtmsg ~mtype:17 ~atts:[ ifname_attr "lo" ] (); i 0L ];
+         ])
+  in
+  check_ok "create dummy0" result.Exec.calls.(1);
+  check_errno "excl re-create" (Some K.Errno.EEXIST) result.Exec.calls.(2);
+  check_ok "modify in place" result.Exec.calls.(3);
+  check_errno "modify missing" (Some K.Errno.ENODEV) result.Exec.calls.(4);
+  check_ok "delete" result.Exec.calls.(5);
+  check_errno "delete again" (Some K.Errno.ENODEV) result.Exec.calls.(6);
+  check_errno "lo is protected" (Some K.Errno.EPERM) result.Exec.calls.(7);
+  check_crash "no crash" None result
+
+let test_link_kinds () =
+  let result =
+    run
+      (prog
+         [
+           nl_route ();
+           newlink 0 [ ifname_attr "vlan0"; kind_attr "vlan" ];
+           newlink 0 [ ifname_attr "bridge0"; kind_attr "bridge" ];
+           newlink 0 [ ifname_attr "wg0"; kind_attr "wireguard" ];
+           newlink 0 [];
+         ])
+  in
+  check_ok "vlan kind" result.Exec.calls.(1);
+  check_ok "bridge kind" result.Exec.calls.(2);
+  check_errno "unknown kind" (Some K.Errno.EOPNOTSUPP) result.Exec.calls.(3);
+  check_errno "no ifname" (Some K.Errno.EINVAL) result.Exec.calls.(4)
+
+let test_msg_validation () =
+  let result =
+    run
+      (prog
+         [
+           nl_route ();
+           (* Wrong message type for the NEWLINK endpoint. *)
+           call "sendmsg$RTM_NEWLINK" [ r 0; rtmsg ~mtype:17 (); i 0L ];
+           (* Header shorter than nlmsghdr. *)
+           call "sendmsg$RTM_NEWLINK"
+             [ r 0; group [ iv 8; iv 16; i 0L; i 0L; ifi (); attrs [] ]; i 0L ];
+           (* Route message on a generic socket. *)
+           nl_generic ();
+           call "sendmsg$RTM_NEWLINK" [ r 3; rtmsg ~mtype:16 (); i 0L ];
+           (* Stale fd. *)
+           call "sendmsg$RTM_NEWLINK" [ i 99L; rtmsg ~mtype:16 (); i 0L ];
+         ])
+  in
+  check_errno "type mismatch" (Some K.Errno.EOPNOTSUPP) result.Exec.calls.(1);
+  check_errno "short header" (Some K.Errno.EINVAL) result.Exec.calls.(2);
+  check_errno "wrong proto" (Some K.Errno.EOPNOTSUPP) result.Exec.calls.(4);
+  check_errno "bad fd" (Some K.Errno.EBADF) result.Exec.calls.(5)
+
+(* ---- cross-subsystem: rtnetlink drives the netdev device table ---- *)
+
+let test_setlink_gates_xmit () =
+  let sendto k = call "sendto$packet" [ r k; buf 64; iv 64; i 0L; ptr (s "eth0") ] in
+  let result =
+    run
+      (prog
+         [
+           call "socket$packet" [ i 17L; i 3L; i 768L ];
+           sendto 0;
+           nl_route ();
+           setlink 2 ~up:true "eth0";
+           sendto 0;
+           setlink 2 ~up:false "eth0";
+           sendto 0;
+         ])
+  in
+  check_errno "down device rejects xmit" (Some K.Errno.ENODEV)
+    result.Exec.calls.(1);
+  check_ok "RTM_SETLINK up" result.Exec.calls.(3);
+  check_ok "xmit after netlink up" result.Exec.calls.(4);
+  Alcotest.(check int64) "full frame sent" 64L result.Exec.calls.(4).Exec.retval;
+  check_errno "xmit after netlink down" (Some K.Errno.ENODEV)
+    result.Exec.calls.(6)
+
+let test_newqdisc_arms_netdev_bug () =
+  (* Netlink-installed zero-limit qdisc trips netdev's size-table OOB. *)
+  let p =
+    prog
+      [
+        nl_route ();
+        setlink 0 ~up:true "eth0";
+        call "sendmsg$RTM_NEWQDISC"
+          [ r 0; rtmsg ~mtype:36 ~body:(tcm ()) ~atts:[ qlimit_attr 0 ] (); i 0L ];
+        call "socket$packet" [ i 17L; i 3L; i 768L ];
+        call "sendto$packet" [ r 3; buf 3000; iv 3000; i 0L; ptr (s "eth0") ];
+      ]
+  in
+  check_crash "qdisc armed over netlink" (Some "qdisc_calculate_pkt_len")
+    (run ~version:K.Version.V5_11 p);
+  check_crash "nonzero limit is safe" None
+    (run ~version:K.Version.V5_11
+       (prog
+          [
+            nl_route ();
+            setlink 0 ~up:true "eth0";
+            call "sendmsg$RTM_NEWQDISC"
+              [ r 0; rtmsg ~mtype:36 ~body:(tcm ()) ~atts:[ qlimit_attr 64 ] (); i 0L ];
+            call "socket$packet" [ i 17L; i 3L; i 768L ];
+            call "sendto$packet" [ r 3; buf 3000; iv 3000; i 0L; ptr (s "eth0") ];
+          ]))
+
+(* ---- addresses ---- *)
+
+let test_addresses () =
+  let newaddr atts =
+    call "sendmsg$RTM_NEWADDR"
+      [ r 0; rtmsg ~mtype:20 ~body:(ifa ()) ~atts (); i 0L ]
+  in
+  let getaddr idx =
+    call "sendmsg$RTM_GETADDR"
+      [ r 0; rtmsg ~mtype:22 ~body:(ifa ~idx ()) (); i 0L ]
+  in
+  let result =
+    run
+      (prog
+         [
+           nl_route ();
+           newaddr [ ifname_attr "eth0"; addr_attr 0x0a000001L ];
+           newaddr [ ifname_attr "eth0"; addr_attr 0x0a000001L ];
+           newaddr [ ifname_attr "eth0"; addr_attr 0x0a000002L ];
+           newaddr [ ifname_attr "eth0" ];
+           newaddr [ ifname_attr "nosuchdev"; addr_attr 1L ];
+           getaddr 0;
+           getaddr 1;
+         ])
+  in
+  check_ok "first addr" result.Exec.calls.(1);
+  check_errno "duplicate addr" (Some K.Errno.EEXIST) result.Exec.calls.(2);
+  check_ok "second addr" result.Exec.calls.(3);
+  check_errno "missing addr attr" (Some K.Errno.EINVAL) result.Exec.calls.(4);
+  check_errno "unknown device" (Some K.Errno.ENODEV) result.Exec.calls.(5);
+  Alcotest.(check int64) "eth0 has two addrs" 2L
+    result.Exec.calls.(6).Exec.retval;
+  Alcotest.(check int64) "lo has none" 0L result.Exec.calls.(7).Exec.retval
+
+(* ---- dump protocol ---- *)
+
+let test_dump_completes () =
+  let getlink_dump =
+    call "sendmsg$RTM_GETLINK" [ r 0; rtmsg ~mtype:18 ~mflags:0x300 (); i 0L ]
+  in
+  let recv = call "recvmsg$netlink" [ r 0; buf 64; iv 64; i 0L ] in
+  let result =
+    run
+      (prog
+         [
+           nl_route ();
+           newlink 0 [ ifname_attr "dummy0" ];
+           getlink_dump;
+           recv;
+           getlink_dump;
+           recv;
+           recv;
+         ])
+  in
+  (* Three devices: first batch emits two links, the resume emits the
+     third and completes without touching a stale offset. *)
+  Alcotest.(check int64) "first batch" 2L result.Exec.calls.(2).Exec.retval;
+  Alcotest.(check int64) "mid-dump drain" 60L result.Exec.calls.(3).Exec.retval;
+  Alcotest.(check int64) "resume batch" 1L result.Exec.calls.(4).Exec.retval;
+  Alcotest.(check int64) "final drain" 20L result.Exec.calls.(5).Exec.retval;
+  Alcotest.(check int64) "queue empty" 0L result.Exec.calls.(6).Exec.retval;
+  check_crash "well-behaved dump never crashes" None result
+
+let test_dump_stale_offset_gating () =
+  let p () =
+    (Bug_repros.all
+    |> List.find (fun (x : Bug_repros.repro) ->
+           x.Bug_repros.key = "rtnl_dump_ifinfo"))
+      .Bug_repros.build ()
+  in
+  check_crash "absent before 5.6" None (run ~version:K.Version.V5_0 (p ()));
+  check_crash "fires on 5.11" (Some "rtnl_dump_ifinfo")
+    (run ~version:K.Version.V5_11 (p ()));
+  check_crash "silent without KASAN" None
+    (run ~version:K.Version.V5_11 ~san:K.Sanitizer.none (p ()))
+
+(* ---- truncated attribute parse (KMSAN) ---- *)
+
+let test_truncated_attr_gating () =
+  let newlink_with atts =
+    prog [ nl_route (); newlink 0 atts ]
+  in
+  let truncated_vlan =
+    [ ifname_attr "vlan0"; kind_attr ~alen:40 "vlan" ]
+  in
+  check_crash "fires on 5.4" (Some "nla_parse_nested")
+    (run ~version:K.Version.V5_4 (newlink_with truncated_vlan));
+  check_crash "absent on 5.0" None
+    (run ~version:K.Version.V5_0 (newlink_with truncated_vlan));
+  check_crash "silent without KMSAN" None
+    (run ~version:K.Version.V5_4
+       ~san:{ K.Sanitizer.kasan = true; kmsan = false; kcsan = false }
+       (newlink_with truncated_vlan));
+  check_crash "well-formed vlan attr is safe" None
+    (run ~version:K.Version.V5_4
+       (newlink_with [ ifname_attr "vlan0"; kind_attr "vlan" ]));
+  check_crash "truncated dummy kind is safe" None
+    (run ~version:K.Version.V5_4
+       (newlink_with [ ifname_attr "dummy1"; kind_attr ~alen:40 "dummy" ]))
+
+(* ---- generic netlink ---- *)
+
+let test_getfamily_resolution () =
+  let getfamily name = call "sendmsg$GETFAMILY" [ r 0; getfamily_msg name; i 0L ] in
+  let result =
+    run
+      (prog
+         [
+           nl_generic ();
+           getfamily "nlctrl";
+           getfamily "devlink";
+           getfamily "ethtool";
+           getfamily "nl80211";
+         ])
+  in
+  Alcotest.(check int64) "nlctrl id" 0x10L result.Exec.calls.(1).Exec.retval;
+  Alcotest.(check int64) "devlink id" 0x11L result.Exec.calls.(2).Exec.retval;
+  Alcotest.(check int64) "ethtool id" 0x12L result.Exec.calls.(3).Exec.retval;
+  check_errno "unknown family" (Some K.Errno.ENOENT) result.Exec.calls.(4)
+
+let test_genl_send () =
+  let result =
+    run
+      (prog
+         [
+           nl_generic ();
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "devlink"; i 0L ];
+           call "bind$nl_generic" [ r 0; r 1 ];
+           call "sendmsg$genl" [ r 0; r 1; genl_msg (); i 0L ];
+           call "sendmsg$genl" [ r 0; r 1; genl_msg ~cmd:0 (); i 0L ];
+           call "sendmsg$genl" [ r 0; i 999L; genl_msg (); i 0L ];
+           call "bind$nl_generic" [ r 0; i 999L ];
+         ])
+  in
+  check_ok "bind to resolved id" result.Exec.calls.(2);
+  check_ok "send cmd 1" result.Exec.calls.(3);
+  check_errno "CTRL_CMD_UNSPEC rejected" (Some K.Errno.EOPNOTSUPP)
+    result.Exec.calls.(4);
+  check_errno "unknown id" (Some K.Errno.ENOENT) result.Exec.calls.(5);
+  check_errno "bind unknown id" (Some K.Errno.EINVAL) result.Exec.calls.(6);
+  check_crash "no crash" None result
+
+let test_devlink_reload_reassigns_id () =
+  let result =
+    run
+      (prog
+         [
+           nl_generic ();
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "devlink"; i 0L ];
+           call "sendmsg$devlink_reload" [ r 0; r 1; genl_msg (); i 0L ];
+           (* The pre-reload id now dangles... *)
+           call "sendmsg$genl" [ r 0; r 1; genl_msg (); i 0L ];
+           (* ...and the reload's returned id is live. *)
+           call "sendmsg$genl" [ r 0; r 2; genl_msg (); i 0L ];
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "devlink"; i 0L ];
+           call "sendmsg$devlink_reload" [ r 0; r 1; genl_msg (); i 0L ];
+         ])
+  in
+  let old_id = result.Exec.calls.(1).Exec.retval in
+  let new_id = result.Exec.calls.(2).Exec.retval in
+  Alcotest.(check bool) "reload changes the runtime id" true (old_id <> new_id);
+  check_errno "stale id rejected" (Some K.Errno.ENOENT) result.Exec.calls.(3);
+  check_ok "fresh id accepted" result.Exec.calls.(4);
+  Alcotest.(check int64) "GETFAMILY tracks the reload" new_id
+    result.Exec.calls.(5).Exec.retval;
+  check_errno "reload via stale id" (Some K.Errno.ENOENT) result.Exec.calls.(6)
+
+let test_unregister () =
+  let result =
+    run
+      (prog
+         [
+           nl_generic ();
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "nlctrl"; i 0L ];
+           call "sendmsg$nlctrl_unregister" [ r 0; r 1; i 0L ];
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "ethtool"; i 0L ];
+           call "sendmsg$nlctrl_unregister" [ r 0; r 3; i 0L ];
+           (* A known name whose family was unloaded. *)
+           call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "ethtool"; i 0L ];
+           call "sendmsg$nlctrl_unregister" [ r 0; r 3; i 0L ];
+         ])
+  in
+  check_errno "nlctrl cannot be unloaded" (Some K.Errno.EPERM)
+    result.Exec.calls.(2);
+  check_ok "ethtool unloads" result.Exec.calls.(4);
+  check_errno "GETFAMILY after unload" (Some K.Errno.ENOENT)
+    result.Exec.calls.(5);
+  check_errno "double unload" (Some K.Errno.ENOENT) result.Exec.calls.(6)
+
+let test_stale_family_uaf_gating () =
+  let p () =
+    (Bug_repros.all
+    |> List.find (fun (x : Bug_repros.repro) ->
+           x.Bug_repros.key = "genl_rcv_msg"))
+      .Bug_repros.build ()
+  in
+  check_crash "fires on 5.11" (Some "genl_rcv_msg")
+    (run ~version:K.Version.V5_11 (p ()));
+  check_crash "absent on 5.4" None (run ~version:K.Version.V5_4 (p ()));
+  check_crash "silent without KASAN" None
+    (run ~version:K.Version.V5_11
+       ~san:{ K.Sanitizer.kasan = false; kmsan = true; kcsan = true }
+       (p ()))
+
+(* ---- membership / recvmsg socket plumbing ---- *)
+
+let test_membership () =
+  let add fd g =
+    call "setsockopt$NETLINK_ADD_MEMBERSHIP" [ r fd; i 270L; i 1L; ptr (i g) ]
+  in
+  let result =
+    run
+      (prog
+         ([ nl_route () ]
+         @ List.init 8 (fun k -> add 0 (Int64.of_int (k + 1)))
+         @ [
+             add 0 9L;
+             add 0 0L;
+             call "socket$netlink" [ i 16L; i 3L; i 0L ];
+             add 11 1L;
+             call "recvmsg$netlink" [ r 11; buf 16; iv 16; i 0L ];
+             call "socket$tcp" [ i 2L; i 1L; i 6L ];
+             add 14 1L;
+           ]))
+  in
+  for k = 1 to 8 do
+    check_ok (Printf.sprintf "membership %d" k) result.Exec.calls.(k)
+  done;
+  check_errno "per-socket cap" (Some K.Errno.ENOSPC) result.Exec.calls.(9);
+  check_errno "group zero" (Some K.Errno.EINVAL) result.Exec.calls.(10);
+  check_ok "plain netlink socket joins" result.Exec.calls.(12);
+  Alcotest.(check int64) "plain socket queue is empty" 0L
+    result.Exec.calls.(13).Exec.retval;
+  check_errno "non-netlink socket" (Some K.Errno.EOPNOTSUPP)
+    result.Exec.calls.(15)
+
+(* ---- triage: both UAF routes dedup to one signature ---- *)
+
+let test_uaf_routes_dedup () =
+  let via_unregister =
+    prog
+      [
+        nl_generic ();
+        call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "devlink"; i 0L ];
+        call "bind$nl_generic" [ r 0; r 1 ];
+        call "sendmsg$nlctrl_unregister" [ r 0; r 1; i 0L ];
+        call "sendmsg$genl" [ r 0; r 1; genl_msg (); i 0L ];
+      ]
+  in
+  let via_reload =
+    prog
+      [
+        nl_generic ();
+        call "sendmsg$GETFAMILY" [ r 0; getfamily_msg "devlink"; i 0L ];
+        call "bind$nl_generic" [ r 0; r 1 ];
+        call "sendmsg$devlink_reload" [ r 0; r 1; genl_msg (); i 0L ];
+        call "sendmsg$genl" [ r 0; r 1; genl_msg (); i 0L ];
+      ]
+  in
+  let r1 = run via_unregister and r2 = run via_reload in
+  check_crash "unregister route crashes" (Some "genl_rcv_msg") r1;
+  check_crash "reload route crashes" (Some "genl_rcv_msg") r2;
+  let report r = Option.get r.Exec.crash in
+  Alcotest.(check string) "same signature"
+    (Triage.signature_of_report (report r1))
+    (Triage.signature_of_report (report r2));
+  let t = Triage.create ~exec:(fun p -> run p) in
+  Alcotest.(check bool) "first route is new" true
+    (Triage.on_crash t ~vtime:1.0 via_unregister (report r1));
+  Alcotest.(check bool) "second route is a dup" false
+    (Triage.on_crash t ~vtime:2.0 via_reload (report r2));
+  Alcotest.(check int) "one unique vulnerability" 1 (Triage.unique_count t)
+
+let suite =
+  [
+    case "registration shape" test_shape;
+    case "link lifecycle" test_link_lifecycle;
+    case "link kinds" test_link_kinds;
+    case "message validation" test_msg_validation;
+    case "setlink gates packet xmit" test_setlink_gates_xmit;
+    case "newqdisc arms netdev bug" test_newqdisc_arms_netdev_bug;
+    case "addresses" test_addresses;
+    case "dump completes" test_dump_completes;
+    case "dump stale-offset gating" test_dump_stale_offset_gating;
+    case "truncated attr gating" test_truncated_attr_gating;
+    case "getfamily resolution" test_getfamily_resolution;
+    case "genl send" test_genl_send;
+    case "devlink reload reassigns id" test_devlink_reload_reassigns_id;
+    case "unregister" test_unregister;
+    case "stale family UAF gating" test_stale_family_uaf_gating;
+    case "membership" test_membership;
+    case "UAF routes dedup" test_uaf_routes_dedup;
+  ]

@@ -75,12 +75,23 @@ let test_static_learning () =
     (edge "ioctl$KVM_CREATE_VM" "ioctl$KVM_CREATE_VCPU");
   Alcotest.(check bool) "CREATE_VCPU -> RUN" true
     (edge "ioctl$KVM_CREATE_VCPU" "ioctl$KVM_RUN");
+  (* ... including the netlink resource chains: the route socket feeds
+     the RTM sends, and a GETFAMILY-resolved runtime id feeds the
+     generic-netlink bind and send... *)
+  Alcotest.(check bool) "socket$nl_route -> RTM_NEWLINK" true
+    (edge "socket$nl_route" "sendmsg$RTM_NEWLINK");
+  Alcotest.(check bool) "GETFAMILY -> genl send" true
+    (edge "sendmsg$GETFAMILY" "sendmsg$genl");
+  Alcotest.(check bool) "GETFAMILY -> genl bind" true
+    (edge "sendmsg$GETFAMILY" "bind$nl_generic");
   (* ... state-only relations are not (that is dynamic learning's job,
      Figure 2)... *)
   Alcotest.(check bool) "ADD_SEALS -> mmap unknown statically" false
     (edge "fcntl$ADD_SEALS" "mmap");
   Alcotest.(check bool) "bind -> listen unknown statically" false
     (edge "bind" "listen");
+  Alcotest.(check bool) "SETLINK -> sendto$packet unknown statically" false
+    (edge "sendmsg$RTM_SETLINK" "sendto$packet");
   (* ... stateless long-tail calls have no relations at all. *)
   Alcotest.(check (list int)) "compat isolated" []
     (Relation_table.influenced_by table (id "prctl$PR_SET_NAME"));
@@ -204,6 +215,37 @@ let test_dynamic_learns_bind_listen () =
   Alcotest.(check bool) "bind -> listen learned" true
     (Relation_table.get table (id "bind") (id "listen"))
 
+let test_dynamic_learns_netlink_netdev () =
+  (* Cross-subsystem influence: RTM_SETLINK brings eth0 up, which is
+     what unlocks the packet-socket transmit branches. No resource
+     flows between the two calls, so only Algorithm 2 can see it. *)
+  let table = Static_learning.initial_table (tgt ()) in
+  let setlink_up =
+    group
+      [
+        iv 32; iv 19; i 0L; i 0L;
+        (* ifinfomsg: flags IFF_UP, change mask 1. *)
+        Value.Group [ i 0L; i 0L; i 0L; i 1L; i 1L ];
+        (* IFLA_IFNAME "eth0" attribute. *)
+        Value.Group [ Value.Group [ Value.Group [ iv 8; iv 3; s "eth0" ] ] ];
+      ]
+  in
+  let p =
+    prog
+      [
+        call "socket$packet" [ i 17L; i 3L; i 768L ];
+        call "socket$nl_route" [ i 16L; i 3L; i 0L ];
+        call "sendmsg$RTM_SETLINK" [ r 1; setlink_up; i 0L ];
+        call "sendto$packet" [ r 0; buf 64; iv 64; i 0L; ptr (s "eth0") ];
+      ]
+  in
+  let pc = observe p in
+  let fresh, _ = Dynamic_learning.learn_from_run ~exec:(exec_cb ()) ~table pc in
+  Alcotest.(check bool) "SETLINK -> sendto$packet learned" true
+    (Relation_table.get table (id "sendmsg$RTM_SETLINK") (id "sendto$packet"));
+  Alcotest.(check bool) "reported as fresh" true
+    (List.mem (id "sendmsg$RTM_SETLINK", id "sendto$packet") fresh)
+
 let test_dynamic_skips_known () =
   (* Pairs already in the table are not re-analyzed: learn on a
      sequence whose only consecutive pair is statically known. *)
@@ -314,6 +356,7 @@ let suite =
     case "minimize multiple seeds" test_minimize_multiple_seeds;
     case "dynamic learns Figure 2" test_dynamic_learns_figure2;
     case "dynamic learns bind->listen" test_dynamic_learns_bind_listen;
+    case "dynamic learns netlink->netdev" test_dynamic_learns_netlink_netdev;
     case "dynamic skips known pairs" test_dynamic_skips_known;
     case "select alpha=0 random" test_select_alpha_zero_is_random;
     case "select follows relations" test_select_follows_relations;
