@@ -458,6 +458,21 @@ let ablation () =
 (* name -> ns/run, for the JSON report. *)
 let micro_results : (string * float) list ref = ref []
 
+(* Counters of the probe cache exercised by the cache-on rows (and the
+   [cache] smoke section), for the JSON report. *)
+let probe_cache_stats : (Healer_executor.Exec_cache.stats * float) option ref =
+  ref None
+
+let report_cache_stats cache =
+  let s = Healer_executor.Exec_cache.stats cache in
+  let rate = Healer_executor.Exec_cache.hit_rate cache in
+  Fmt.pr "  %-26s %d hits / %d misses (%.0f%% hit rate), %d resumed, %d evictions@."
+    "probe cache" s.Healer_executor.Exec_cache.hits
+    s.Healer_executor.Exec_cache.misses (100.0 *. rate)
+    s.Healer_executor.Exec_cache.resumed_calls
+    s.Healer_executor.Exec_cache.evictions;
+  probe_cache_stats := Some (s, rate)
+
 let micro () =
   section "Micro-benchmarks (bechamel)";
   let open Bechamel in
@@ -486,6 +501,14 @@ let micro () =
       ~new_cov:(Array.map (fun (c : Healer_executor.Exec.call_result) -> c.Healer_executor.Exec.cov) sample_run.Healer_executor.Exec.calls)
   in
   let min_exec p = snd (Healer_executor.Exec.run ~cov:bench_cov kernel p) in
+  (* One long-lived cache, like the fuzzer's pool: successive probe
+     sweeps over the same test case hit warm prefixes. *)
+  let probe_cache = Healer_executor.Exec_cache.create ~version:K.Version.V5_11 () in
+  let cached_exec p = Healer_executor.Exec_cache.run probe_cache ~cov:bench_cov p in
+  let dlearn exec () =
+    let t = Relation_table.create (Target.n_syscalls target) in
+    ignore (Dynamic_learning.learn ~exec ~table:t [ sample_pc ])
+  in
   (* A deterministic netlink round-trip — rtnetlink link bring-up, a
      generic-netlink family resolution and a queue drain — isolating
      the nlmsghdr/TLV parsing hot path. *)
@@ -534,9 +557,14 @@ let micro () =
       Test.make ~name:"cov_equal"
         (Staged.stage (fun () ->
              ignore (Healer_executor.Exec.cov_equal trace trace_shuffled)));
-      Test.make ~name:"minimize"
+      Test.make ~name:"minimize probe (cache off)"
         (Staged.stage (fun () ->
              ignore (Minimize.minimize ~exec:min_exec sample_pc)));
+      Test.make ~name:"minimize probe (cache on)"
+        (Staged.stage (fun () ->
+             ignore (Minimize.minimize ~exec:cached_exec sample_pc)));
+      Test.make ~name:"dlearn probe (cache off)" (Staged.stage (dlearn min_exec));
+      Test.make ~name:"dlearn probe (cache on)" (Staged.stage (dlearn cached_exec));
       Test.make ~name:"serializer encode"
         (Staged.stage (fun () -> ignore (Healer_executor.Serializer.encode sample_prog)));
       Test.make ~name:"serializer decode"
@@ -594,7 +622,50 @@ let micro () =
           | _ -> Fmt.pr "  %-26s %14s@." (Test.Elt.name elt) "n/a")
         (Test.elements test))
     tests;
-  micro_results := List.rev !micro_results
+  micro_results := List.rev !micro_results;
+  report_cache_stats probe_cache;
+  (match
+     ( List.assoc_opt "minimize probe (cache off)" !micro_results,
+       List.assoc_opt "minimize probe (cache on)" !micro_results )
+   with
+  | Some off, Some on when on > 0.0 ->
+    Fmt.pr "  %-26s %13.1fx@." "minimize cache speedup" (off /. on)
+  | _ -> ())
+
+(* ---- probe-cache smoke (cheap enough for every build) ---- *)
+
+(* Two minimization sweeps over one interesting input through a shared
+   cache: the second sweep's probes are warm, so hits/misses/resumes
+   must all be non-trivial. Exercises the same code path as the
+   cache-on micro rows without bechamel's sampling cost. *)
+let cache_smoke () =
+  section "Probe cache (prefix-caching execution engine)";
+  let target = K.Kernel.target () in
+  let rng = Healer_util.Rng.create 1 in
+  let sample_prog =
+    Gen.generate rng target
+      ~select:(fun ~sub:_ -> Healer_util.Rng.int rng (Target.n_syscalls target))
+      ()
+  in
+  let cov = K.Coverage.create () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let sample_run = snd (Healer_executor.Exec.run ~cov kernel sample_prog) in
+  let sample_pc =
+    Prog_cov.of_run sample_prog sample_run
+      ~new_cov:
+        (Array.map
+           (fun (c : Healer_executor.Exec.call_result) -> c.Healer_executor.Exec.cov)
+           sample_run.Healer_executor.Exec.calls)
+  in
+  let cache = Healer_executor.Exec_cache.create ~version:K.Version.V5_11 () in
+  let exec p = Healer_executor.Exec_cache.run cache ~cov p in
+  for _ = 1 to 2 do
+    let table = Relation_table.create (Target.n_syscalls target) in
+    List.iter
+      (fun pc -> ignore (Dynamic_learning.learn ~exec ~table [ pc ]))
+      (Minimize.minimize ~exec sample_pc)
+  done;
+  report_cache_stats cache
 
 (* ---- main ---- *)
 
@@ -602,7 +673,7 @@ let sections =
   [
     ("fig4", fig4); ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
-    ("ablation", ablation); ("micro", micro);
+    ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
   ]
 
 (* ---- machine-readable results (--json) ---- *)
@@ -640,6 +711,18 @@ let write_json ~jobs ~section_times () =
   field "%s"
     (obj_list "sections" (List.rev section_times) (fun (name, dt) ->
          Printf.sprintf "{\"name\": %S, \"seconds\": %.3f}" name dt));
+  (match !probe_cache_stats with
+  | Some (s, rate) ->
+    field
+      "\"exec_cache\": {\"hits\": %d, \"full_hits\": %d, \"misses\": %d, \
+       \"hit_rate\": %.3f, \"evictions\": %d, \"flushes\": %d, \
+       \"resumed_calls\": %d, \"executed_calls\": %d}"
+      s.Healer_executor.Exec_cache.hits s.Healer_executor.Exec_cache.full_hits
+      s.Healer_executor.Exec_cache.misses rate
+      s.Healer_executor.Exec_cache.evictions s.Healer_executor.Exec_cache.flushes
+      s.Healer_executor.Exec_cache.resumed_calls
+      s.Healer_executor.Exec_cache.executed_calls
+  | None -> field "\"exec_cache\": null");
   field ~last:true "%s"
     (obj_list "micro" !micro_results (fun (name, ns) ->
          Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f}" name ns));

@@ -19,6 +19,8 @@ type t = {
   mutable p1 : int array array;  (* normalized dynamic part *)
   mutable dirty : bool;
   mutable noted : int;
+  cum : int array option array;
+      (* per-row cumulative select weights, invalidated by refresh *)
 }
 
 let rec collect_sig target acc (ty : Ty.t) =
@@ -101,6 +103,7 @@ let create target =
     p1 = Array.make_matrix n n 10;
     dirty = false;
     noted = 0;
+    cum = Array.make n None;
   }
 
 let note_corpus_program t (p : Prog.t) =
@@ -115,6 +118,7 @@ let note_corpus_program t (p : Prog.t) =
 let refresh t =
   if t.dirty then begin
     t.p1 <- normalize t.p1_raw;
+    Array.fill t.cum 0 t.n None;
     t.dirty <- false
   end
 
@@ -122,11 +126,35 @@ let weight t i j =
   refresh t;
   t.p0.(i).(j) * t.p1.(i).(j) / 1000
 
+(* Built lazily per biased row after each refresh; [select] then draws
+   in O(log n) with no per-pick allocation. *)
+let cum_row t b =
+  match t.cum.(b) with
+  | Some row -> row
+  | None ->
+    let row = Array.make t.n 0 in
+    let p0b = t.p0.(b) and p1b = t.p1.(b) in
+    let acc = ref 0 in
+    for j = 0 to t.n - 1 do
+      acc := !acc + max 1 (p0b.(j) * p1b.(j) / 1000);
+      row.(j) <- !acc
+    done;
+    t.cum.(b) <- Some row;
+    row
+
 let select rng t ~bias =
   match bias with
   | None -> Rng.int rng t.n
   | Some b when b < 0 || b >= t.n -> Rng.int rng t.n
   | Some b ->
     refresh t;
-    let choices = List.init t.n (fun j -> (j, max 1 (weight t b j))) in
-    Rng.weighted rng choices
+    let row = cum_row t b in
+    (* Same single draw as [Rng.weighted] over the per-j weights, so
+       picks are bit-identical to the old list-based sampling. *)
+    let target = Rng.int rng row.(t.n - 1) in
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if row.(mid) > target then hi := mid else lo := mid + 1
+    done;
+    !lo

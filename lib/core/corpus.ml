@@ -54,16 +54,24 @@ let pick rng t =
     Some !best.prog
   end
 
-let lengths t = List.init t.count (fun i -> Prog.length t.entries.(i).prog)
+let lengths t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (Prog.length t.entries.(i).prog :: acc)
+  in
+  go (t.count - 1) []
 
 let length_histogram t =
   Healer_util.Statx.histogram ~buckets:[ 1; 2; 3; 4 ] (lengths t)
 
 let frac_len_at_least t n =
   if t.count = 0 then 0.0
-  else
-    let hits = List.length (List.filter (fun l -> l >= n) (lengths t)) in
-    float_of_int hits /. float_of_int t.count
+  else begin
+    let hits = ref 0 in
+    for i = 0 to t.count - 1 do
+      if Prog.length t.entries.(i).prog >= n then incr hits
+    done;
+    float_of_int !hits /. float_of_int t.count
+  end
 
 let iter f t =
   for i = 0 to t.count - 1 do

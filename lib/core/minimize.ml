@@ -22,14 +22,14 @@ let minimize ?target ~exec (pc : Prog_cov.t) =
          calls are removed. *)
       let p' = ref (Prog.sub p (i + 1)) in
       let last = ref i in
-      (* Map positions of the current p' back to original indices so
-         that calls kept here can be reserved. *)
-      let origin = ref (List.init (i + 1) (fun k -> k)) in
+      (* pos_of.(k) is original call k's position inside the current p'
+         (-1 once removed), so kept calls can be reserved without
+         rescanning an index list per probe. *)
+      let pos_of = Array.init (i + 1) Fun.id in
       for j = i - 1 downto 0 do
         (* Position of original call j inside the current p'. *)
-        match List.find_index (fun o -> o = j) !origin with
-        | None -> ()
-        | Some pos ->
+        let pos = pos_of.(j) in
+        if pos >= 0 then begin
           let candidate = Prog.remove !p' pos in
           let r = exec candidate in
           let kept_last = !last - 1 in
@@ -41,12 +41,16 @@ let minimize ?target ~exec (pc : Prog_cov.t) =
           if Exec.cov_matches target_key cov' then begin
             p' := candidate;
             last := kept_last;
-            origin := List.filter (fun o -> o <> j) !origin
+            pos_of.(j) <- -1;
+            for o = j + 1 to i do
+              if pos_of.(o) >= 0 then pos_of.(o) <- pos_of.(o) - 1
+            done
           end
           else
             (* C_j is load-bearing for C_i: reserve it so it does not
                seed its own subsequence. *)
             Hashtbl.replace reserved j ()
+        end
       done;
       Option.iter
         (fun t ->

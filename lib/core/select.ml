@@ -5,21 +5,44 @@ type outcome = { id : int; used_table : bool }
 let random_call rng table =
   { id = Rng.int rng (Relation_table.size table); used_table = false }
 
+(* Guided picks run once per generated call: a per-domain scratch
+   counter over syscall ids replaces the old per-pick Hashtbl + sorted
+   assoc list (domain-local because campaigns run in parallel). *)
+let scratch : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
 let select rng table ~alpha ~sub =
   if Rng.float rng 1.0 > alpha then random_call rng table
   else begin
-    let m : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let n = Relation_table.size table in
+    let r = Domain.DLS.get scratch in
+    if Array.length !r < n then r := Array.make n 0;
+    let counts = !r in
+    let total = ref 0 in
     List.iter
       (fun ci ->
         List.iter
           (fun cj ->
-            let w = match Hashtbl.find_opt m cj with Some w -> w | None -> 0 in
-            Hashtbl.replace m cj (w + 1))
+            counts.(cj) <- counts.(cj) + 1;
+            incr total)
           (Relation_table.influenced_by table ci))
       sub;
-    if Hashtbl.length m = 0 then random_call rng table
-    else
-      let choices = Hashtbl.fold (fun id w acc -> (id, w) :: acc) m [] in
-      let choices = List.sort compare choices in
-      { id = Rng.weighted rng choices; used_table = true }
+    if !total = 0 then random_call rng table
+    else begin
+      (* One draw, walked in ascending id order — the exact sequence
+         the old sorted-assoc [Rng.weighted] consumed, so guided picks
+         are bit-identical. *)
+      let target = Rng.int rng !total in
+      let id = ref (-1) in
+      let acc = ref 0 in
+      let j = ref 0 in
+      while !id < 0 do
+        (if counts.(!j) > 0 then begin
+           acc := !acc + counts.(!j);
+           if target < !acc then id := !j
+         end);
+        incr j
+      done;
+      Array.fill counts 0 n 0;
+      { id = !id; used_table = true }
+    end
   end

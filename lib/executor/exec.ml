@@ -44,17 +44,15 @@ let rec resolve results (v : Value.t) : K.Arg.t =
   | Value.Null -> K.Arg.Nothing
   | Value.Vma a -> K.Arg.Int a
 
-let run ?fault_call ?(fresh_state = true) ?cov kernel (p : Prog.t) =
-  let kernel = if fresh_state then K.Kernel.reboot kernel else kernel in
+(* Shared execution core: runs calls [start..] of [p] against [kernel]
+   in place, filling [results]/[out]. [on_call] fires after each call
+   that completes without crashing or being fault-killed — the
+   execution cache uses it to snapshot prefix states mid-run. *)
+let exec_calls ?fault_call ?on_call kernel (p : Prog.t) results out cov start =
   let n = Prog.length p in
-  let results = Array.make n None in
-  let out = Array.make n skipped in
-  (* Callers on the hot path (the VM pool) pass a long-lived collector
-     so steady-state execution allocates no per-run dedup state. *)
-  let cov = match cov with Some c -> c | None -> K.Coverage.create () in
   let crash = ref None in
   let stop = ref false in
-  let i = ref 0 in
+  let i = ref start in
   while (not !stop) && !i < n do
     let idx = !i in
     let c = Prog.call p idx in
@@ -113,9 +111,36 @@ let run ?fault_call ?(fresh_state = true) ?cov kernel (p : Prog.t) =
              });
       stop := true
     end;
+    if not !stop then
+      (match on_call with Some f -> f idx out.(idx) kernel | None -> ());
     incr i
   done;
-  (kernel, { calls = out; crash = !crash })
+  !crash
+
+let run ?fault_call ?(fresh_state = true) ?cov kernel (p : Prog.t) =
+  let kernel = if fresh_state then K.Kernel.reboot kernel else kernel in
+  let n = Prog.length p in
+  let results = Array.make n None in
+  let out = Array.make n skipped in
+  (* Callers on the hot path (the VM pool) pass a long-lived collector
+     so steady-state execution allocates no per-run dedup state. *)
+  let cov = match cov with Some c -> c | None -> K.Coverage.create () in
+  let crash = exec_calls ?fault_call kernel p results out cov 0 in
+  (kernel, { calls = out; crash })
+
+let run_from ?cov ?on_call ~prefix kernel (p : Prog.t) =
+  let n = Prog.length p in
+  let k = Array.length prefix in
+  if k > n then invalid_arg "Exec.run_from: prefix longer than program";
+  let results = Array.make n None in
+  let out = Array.make n skipped in
+  for i = 0 to k - 1 do
+    out.(i) <- prefix.(i);
+    results.(i) <- Some prefix.(i)
+  done;
+  let cov = match cov with Some c -> c | None -> K.Coverage.create () in
+  let crash = exec_calls ?on_call kernel p results out cov k in
+  (kernel, { calls = out; crash })
 
 (* Sorted, duplicate-free array form of a coverage trace. Minimization
    and dynamic learning compare one reference trace against many probe

@@ -35,6 +35,25 @@ val run :
     per run; a fresh one is created when absent. Returns the
     (possibly re-booted) kernel and the result. *)
 
+val run_from :
+  ?cov:Healer_kernel.Coverage.t ->
+  ?on_call:(int -> call_result -> Healer_kernel.Kernel.t -> unit) ->
+  prefix:call_result array ->
+  Healer_kernel.Kernel.t ->
+  Prog.t ->
+  Healer_kernel.Kernel.t * run_result
+(** [run_from ~prefix kernel prog] resumes execution at call
+    [Array.length prefix]: [kernel] must be the state left by running
+    exactly those prefix calls of [prog] from a fresh boot (the
+    execution cache restores it from a snapshot), and [prefix] supplies
+    their results so later [Res_ref] arguments resolve identically to a
+    full {!run}. Because execution is deterministic, the returned
+    result is bit-identical to [run kernel prog] — the qcheck suite
+    enforces this. [on_call i r k] fires after each live (resumed)
+    call that completes without crashing, with the kernel state at
+    that point; never for fault-injected runs (which do not resume).
+    The kernel is mutated in place and returned. *)
+
 val cov_equal : int list -> int list -> bool
 (** Set equality of two per-call coverage traces (order-insensitive),
     the comparison both Algorithm 1 and Algorithm 2 perform. *)

@@ -14,7 +14,9 @@ let call p i =
 let empty = { calls = [||] }
 let append p c = { calls = Array.append p.calls [| c |] }
 
-let map_call_refs f c = { c with args = List.map (Value.map_refs f) c.args }
+let map_call_refs f c =
+  let args' = List.map (Value.map_refs f) c.args in
+  if List.for_all2 ( == ) args' c.args then c else { c with args = args' }
 
 let remove p i =
   if i < 0 || i >= length p then invalid_arg "Prog.remove: index out of range";

@@ -5,18 +5,38 @@ exception Malformed of string
 let fail msg = raise (Malformed msg)
 let magic = "HLR1"
 
-let put_uvarint buf v =
-  let v = ref v in
+(* Unboxed fast path: LEB128 of a non-negative native int. The boxed
+   Int64 loop below costs several allocations per byte, and encoding
+   sits on the probe-cache hot path (one key per call per probe). *)
+let put_uint buf i =
+  let x = ref i in
   let continue = ref true in
   while !continue do
-    let byte = Int64.to_int (Int64.logand !v 0x7fL) in
-    v := Int64.shift_right_logical !v 7;
-    if Int64.equal !v 0L then begin
+    let byte = !x land 0x7f in
+    x := !x lsr 7;
+    if !x = 0 then begin
       Buffer.add_char buf (Char.chr byte);
       continue := false
     end
     else Buffer.add_char buf (Char.chr (byte lor 0x80))
   done
+
+let put_uvarint buf v =
+  if Int64.compare v 0L >= 0 && Int64.compare v 0x3FFFFFFFFFFFFFFFL <= 0 then
+    put_uint buf (Int64.to_int v)
+  else begin
+    let v = ref v in
+    let continue = ref true in
+    while !continue do
+      let byte = Int64.to_int (Int64.logand !v 0x7fL) in
+      v := Int64.shift_right_logical !v 7;
+      if Int64.equal !v 0L then begin
+        Buffer.add_char buf (Char.chr byte);
+        continue := false
+      end
+      else Buffer.add_char buf (Char.chr (byte lor 0x80))
+    done
+  end
 
 let get_uvarint s pos =
   let v = ref 0L in
@@ -38,12 +58,26 @@ let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
 let unzigzag v =
   Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L))
 
-let put_svarint buf v = put_uvarint buf (zigzag v)
+(* Same bytes as [put_uvarint (zigzag v)]: for |v| < 2^61 the zigzag
+   fits the 63-bit native int, so the whole encode stays unboxed. *)
+let put_svarint buf v =
+  if
+    Int64.compare v (-0x1000000000000000L) >= 0
+    && Int64.compare v 0x1000000000000000L < 0
+  then begin
+    let x = Int64.to_int v in
+    put_uint buf ((x lsl 1) lxor (x asr 62))
+  end
+  else put_uvarint buf (zigzag v)
 let get_svarint s pos = unzigzag (get_uvarint s pos)
 
 let put_bytes buf b =
-  put_uvarint buf (Int64.of_int (Bytes.length b));
+  put_uint buf (Bytes.length b);
   Buffer.add_bytes buf b
+
+let put_string buf s =
+  put_uint buf (String.length s);
+  Buffer.add_string buf s
 
 let get_bytes s pos =
   let n = Int64.to_int (get_uvarint s pos) in
@@ -59,19 +93,19 @@ let rec put_value buf (v : Value.t) =
     put_svarint buf x
   | Value.Res_ref i ->
     Buffer.add_char buf '\001';
-    put_uvarint buf (Int64.of_int i)
+    put_uint buf i
   | Value.Res_special x ->
     Buffer.add_char buf '\002';
     put_svarint buf x
   | Value.Str s ->
     Buffer.add_char buf '\003';
-    put_bytes buf (Bytes.of_string s)
+    put_string buf s
   | Value.Buf b ->
     Buffer.add_char buf '\004';
     put_bytes buf b
   | Value.Group vs ->
     Buffer.add_char buf '\005';
-    put_uvarint buf (Int64.of_int (List.length vs));
+    put_uint buf (List.length vs);
     List.iter (put_value buf) vs
   | Value.Ptr inner ->
     Buffer.add_char buf '\006';
@@ -100,16 +134,21 @@ let rec get_value s pos =
   | 8 -> Value.Vma (get_uvarint s pos)
   | t -> fail (Printf.sprintf "unknown value tag %d" t)
 
+let put_call buf (c : Prog.call) =
+  put_uint buf c.Prog.syscall.Healer_syzlang.Syscall.id;
+  put_uint buf (List.length c.Prog.args);
+  List.iter (put_value buf) c.Prog.args
+
+let encode_call (c : Prog.call) =
+  let buf = Buffer.create 32 in
+  put_call buf c;
+  Buffer.contents buf
+
 let encode (p : Prog.t) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf magic;
   put_uvarint buf (Int64.of_int (Prog.length p));
-  Array.iter
-    (fun (c : Prog.call) ->
-      put_uvarint buf (Int64.of_int c.syscall.Healer_syzlang.Syscall.id);
-      put_uvarint buf (Int64.of_int (List.length c.args));
-      List.iter (put_value buf) c.args)
-    p.calls;
+  Array.iter (put_call buf) p.calls;
   Buffer.contents buf
 
 let decode target s =

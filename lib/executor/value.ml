@@ -15,11 +15,18 @@ let rec refs = function
   | Ptr v -> refs v
   | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> []
 
+(* Untouched subtrees keep their physical identity, so rewrites that
+   change nothing (e.g. removing a later call) return [v] itself —
+   downstream consumers can then memoize per-value work by [==]. *)
 let rec map_refs f v =
   match v with
   | Res_ref i -> ( match f i with Some v' -> v' | None -> v)
-  | Group vs -> Group (List.map (map_refs f) vs)
-  | Ptr inner -> Ptr (map_refs f inner)
+  | Group vs ->
+    let vs' = List.map (map_refs f) vs in
+    if List.for_all2 ( == ) vs' vs then v else Group vs'
+  | Ptr inner ->
+    let inner' = map_refs f inner in
+    if inner' == inner then v else Ptr inner'
   | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> v
 
 let equal = ( = )

@@ -33,10 +33,7 @@ let reset vm =
     vm.st.resets <- vm.st.resets + 1
   end
 
-let run vm ?fault_call prog =
-  reset vm;
-  let kernel, result = Exec.run ?fault_call ~cov:vm.cov vm.kernel prog in
-  vm.kernel <- kernel;
+let finish vm result =
   vm.st.execs <- vm.st.execs + 1;
   (match result.Exec.crash with
   | Some _ ->
@@ -44,6 +41,23 @@ let run vm ?fault_call prog =
     vm.st.crashes <- vm.st.crashes + 1
   | None -> ());
   result
+
+let run vm ?fault_call prog =
+  reset vm;
+  let kernel, result = Exec.run ?fault_call ~cov:vm.cov vm.kernel prog in
+  vm.kernel <- kernel;
+  finish vm result
+
+let run_probe vm ?cache prog =
+  match cache with
+  | None -> run vm prog
+  | Some c ->
+    (* Stats and crash bookkeeping mirror [run] exactly so campaign
+       counters are identical with the cache on or off; [vm.kernel] is
+       left untouched (probes always start from a fresh logical boot,
+       so the VM's own state never matters to them). *)
+    reset vm;
+    finish vm (Exec_cache.run c ~cov:vm.cov prog)
 
 let stats vm = vm.st
 let version vm = K.Kernel.version vm.kernel

@@ -109,6 +109,28 @@ let boot ?(san = Sanitizer.default) ?(features = []) ~version () =
   { st; san; features }
 
 let reboot k = boot ~san:k.san ~features:k.features ~version:(State.version k.st) ()
+
+let copy_fd_kind k =
+  match k with
+  | State.Dead -> State.Dead
+  | _ ->
+    let rec go = function
+      | [] -> invalid_arg "Kernel.copy: fd kind with no subsystem copier"
+      | (s : Subsystem.t) :: rest -> (
+        match s.Subsystem.copy_kind k with Some k' -> k' | None -> go rest)
+    in
+    go (subsystems ())
+
+let copy_global name g =
+  let rec go = function
+    | [] -> invalid_arg ("Kernel.copy: no subsystem copier for global " ^ name)
+    | (s : Subsystem.t) :: rest -> (
+      match s.Subsystem.copy_global g with Some g' -> g' | None -> go rest)
+  in
+  go (subsystems ())
+
+let copy k =
+  { k with st = State.copy ~copy_kind:copy_fd_kind ~copy_global k.st }
 let version k = State.version k.st
 let state k = k.st
 let sanitizers k = k.san

@@ -50,6 +50,14 @@ val boot :
 val reboot : t -> t
 (** Fresh state with the same version, sanitizer config and features. *)
 
+val copy : t -> t
+(** Snapshot: deep-copy the kernel's mutable state via each
+    subsystem's registered copy hooks, so execution can resume from
+    the copy while the original stays pristine (the prefix-caching
+    executor's primitive). Fails loudly on an fd kind or global slot
+    whose subsystem registered no copier — a gap the snapshot tests
+    catch. *)
+
 val version : t -> Version.t
 val state : t -> State.t
 val sanitizers : t -> Sanitizer.config

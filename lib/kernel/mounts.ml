@@ -131,8 +131,12 @@ mount$reiserfs(src filename["/dev/loop0"], dst filename["/mnt/a", "/mnt/b"], opt
 umount(dst filename["/mnt/a", "/mnt/b", "/mnt/ext4"])
 |}
 
+let copy_global : State.global -> State.global option = function
+  | Mounts m -> Some (Mounts { m with mounted = m.mounted })
+  | _ -> None
+
 let sub =
-  Subsystem.make ~name:"mounts" ~descriptions ~init
+  Subsystem.make ~name:"mounts" ~descriptions ~init ~copy_global
     ~handlers:
       [
         ("mount$ext4", h_mount_ext4);

@@ -801,8 +801,20 @@ sendmsg$nlctrl_unregister(fd sock_nl_generic, fam genl_family_id, mflags const[0
 setsockopt$NETLINK_ADD_MEMBERSHIP(fd sock_netlink, level const[270], optname const[1], group ptr[in, int32[1:32]])
 |}
 
+let copy_kind : State.fd_kind -> State.fd_kind option = function
+  | Nl_sock s -> Some (Nl_sock { s with memberships = s.memberships })
+  | _ -> None
+
+let copy_global : State.global -> State.global option = function
+  | Genl_families tbl ->
+    Some
+      (Genl_families
+         (State.copy_tbl (fun (f : genl_family) -> { f with gid = f.gid }) tbl))
+  | Nl_addrs tbl -> Some (Nl_addrs (Hashtbl.copy tbl))
+  | _ -> None
+
 let sub =
-  Subsystem.make ~name:"netlink" ~descriptions ~init
+  Subsystem.make ~name:"netlink" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
         ("socket$nl_route", h_socket_route);

@@ -588,8 +588,16 @@ getsockname(fd sock, addr ptr[out, sockaddr])
 shutdown(fd sock, how int32[0:2])
 |}
 
+let copy_kind : State.fd_kind -> State.fd_kind option = function
+  | Sock s -> Some (Sock { s with bound = s.bound })
+  | _ -> None
+
+let copy_global : State.global -> State.global option = function
+  | Rxrpc_locals tbl -> Some (Rxrpc_locals (Hashtbl.copy tbl))
+  | _ -> None
+
 let sub =
-  Subsystem.make ~name:"sock" ~descriptions ~init
+  Subsystem.make ~name:"sock" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
         ("socket$tcp", h_socket Tcp);

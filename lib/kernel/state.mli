@@ -68,6 +68,24 @@ val global : t -> string -> global option
 val global_exn : t -> string -> global
 (** Raises [Not_found]. *)
 
+(** {2 Snapshots} *)
+
+val copy :
+  copy_kind:(fd_kind -> fd_kind) ->
+  copy_global:(string -> global -> global) ->
+  t ->
+  t
+(** Deep-copy the state so execution can resume from it later without
+    disturbing the original. [copy_kind] / [copy_global] clone the
+    subsystem-owned payloads ({!Kernel.copy} assembles them from the
+    per-subsystem hooks); the fd table preserves [dup_fd] aliasing
+    (two descriptor numbers sharing one entry share its copy too). *)
+
+val copy_tbl : ('b -> 'b) -> ('a, 'b) Hashtbl.t -> ('a, 'b) Hashtbl.t
+(** Hash-table clone with a per-value copy function, preserving the
+    internal bucket structure (and therefore iteration order) of the
+    original — subsystem copy hooks use it for their registries. *)
+
 (** {2 Named counters}
 
     Small integer scratchpad for cross-call conditions that do not

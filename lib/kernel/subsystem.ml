@@ -12,11 +12,14 @@ type t = {
   init : State.t -> unit;
   handlers : (string * handler) list;
   file_ops : file_op list;
+  copy_kind : State.fd_kind -> State.fd_kind option;
+  copy_global : State.global -> State.global option;
 }
 
-let make ?(init = fun _ -> ()) ?(handlers = []) ?(file_ops = []) ~name
+let make ?(init = fun _ -> ()) ?(handlers = []) ?(file_ops = [])
+    ?(copy_kind = fun _ -> None) ?(copy_global = fun _ -> None) ~name
     ~descriptions () =
-  { name; descriptions; init; handlers; file_ops }
+  { name; descriptions; init; handlers; file_ops; copy_kind; copy_global }
 
 let registry : t list ref = ref []
 

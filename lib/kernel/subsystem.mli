@@ -18,12 +18,20 @@ type t = {
   init : State.t -> unit;  (** Install global state at boot. *)
   handlers : (string * handler) list;  (** Exact syscall-name handlers. *)
   file_ops : file_op list;
+  copy_kind : State.fd_kind -> State.fd_kind option;
+      (** Deep-copy this subsystem's fd payloads ([None] = not ours).
+          Every subsystem that extends {!State.fd_kind} must handle its
+          own constructors here or {!Kernel.copy} fails loudly. *)
+  copy_global : State.global -> State.global option;
+      (** Same, for {!State.global} slots installed at boot. *)
 }
 
 val make :
   ?init:(State.t -> unit) ->
   ?handlers:(string * handler) list ->
   ?file_ops:file_op list ->
+  ?copy_kind:(State.fd_kind -> State.fd_kind option) ->
+  ?copy_global:(State.global -> State.global option) ->
   name:string ->
   descriptions:string ->
   unit ->

@@ -11,6 +11,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("cheader", Test_cheader.suite);
       ("executor", Test_executor.suite);
+      ("exec-cache", Test_exec_cache.suite);
       ("bugs", Test_bugs.suite);
       ("kernel-core", Test_kernel_core.suite);
       ("kernel-vfs", Test_kernel_vfs.suite);
