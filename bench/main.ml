@@ -667,6 +667,51 @@ let cache_smoke () =
   done;
   report_cache_stats cache
 
+(* ---- lockdep overhead smoke (cheap enough for every build) ---- *)
+
+(* The acquire/release hooks charge two State-counter increments per
+   lock nesting level; the acceptance bar is <= 5% on exec throughput.
+   Measured directly (not via bechamel) so the hooks-on/off toggle
+   brackets whole timing runs: N seed-corpus executions with hooks on
+   vs off, wall-clock per execution into [micro_results]. *)
+let lockdep_smoke () =
+  section "Lockdep hook overhead";
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let cov = K.Coverage.create () in
+  let progs = Seeds.traces target @ Seeds.distilled target in
+  (* Interleaved batches with min-of-batches per side: alternating
+     off/on brackets out scheduler and GC drift, and the minimum is
+     the noise-robust estimate of the true per-execution cost. *)
+  let batches = 12 and rounds = 200 in
+  let batch hooks =
+    K.Lock.set_hooks hooks;
+    Fun.protect
+      ~finally:(fun () -> K.Lock.set_hooks true)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          List.iter (fun p -> ignore (Healer_executor.Exec.run ~cov kernel p)) progs
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        dt /. float_of_int (rounds * List.length progs) *. 1e9)
+  in
+  (* Warm-up both sides so allocation effects don't bias either. *)
+  ignore (batch false);
+  ignore (batch true);
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to batches do
+    off := Float.min !off (batch false);
+    on := Float.min !on (batch true)
+  done;
+  let off = !off and on = !on in
+  micro_results :=
+    !micro_results @ [ ("exec (lock hooks off)", off); ("exec (lock hooks on)", on) ];
+  Fmt.pr "  %-26s %14.0f@." "exec (lock hooks off)" off;
+  Fmt.pr "  %-26s %14.0f@." "exec (lock hooks on)" on;
+  Fmt.pr "  %-26s %13.1f%%@." "lockdep overhead"
+    (if off > 0.0 then (on -. off) /. off *. 100.0 else 0.0)
+
 (* ---- main ---- *)
 
 let sections =
@@ -674,6 +719,7 @@ let sections =
     ("fig4", fig4); ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
     ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
+    ("lockdep", lockdep_smoke);
   ]
 
 (* ---- machine-readable results (--json) ---- *)

@@ -395,8 +395,126 @@ let run_analyze_progs prog seed_corpus json min_sev only =
   end;
   if Diagnostic.has_errors ds then exit 1
 
-let run_analyze file prog seed_corpus json list_checks min_sev only =
-  if list_checks then
+(* Lock-model mode: dump the declared model (classes, order graph,
+   per-handler specs), the lockdep findings over it, and the lock-pair
+   acquisition counts the built-in seed corpus exhibits — the
+   queryable concurrency-coverage signal. *)
+let run_locks json =
+  or_die @@ fun () ->
+  let model = K.Kernel.lock_model () in
+  let classes =
+    List.sort
+      (fun (a : K.Lock.cls) (b : K.Lock.cls) -> compare a.K.Lock.rank b.K.Lock.rank)
+      model.K.Lock.classes
+  in
+  let edges = K.Lock.order_edges model in
+  let ds =
+    List.map Healer_analysis.Lockdep.to_diagnostic (K.Lock.check_model model)
+  in
+  (* Execute the seed corpus (each program from pristine state, like
+     the executor's forked processes) and aggregate the lock-pair /
+     per-class acquisition counters across runs. *)
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let cov = K.Coverage.create () in
+  let merge acc counts =
+    List.fold_left
+      (fun acc (key, n) ->
+        let cur = try List.assoc key acc with Not_found -> 0 in
+        (key, cur + n) :: List.remove_assoc key acc)
+      acc counts
+  in
+  let pairs, acqs =
+    List.fold_left
+      (fun (pairs, acqs) p ->
+        let k', _ = Healer_executor.Exec.run ~cov kernel p in
+        ( merge pairs (K.Kernel.lock_pair_counts k'),
+          merge acqs (K.Kernel.lock_acquire_counts k') ))
+      ([], [])
+      (Seeds.traces target @ Seeds.distilled target)
+  in
+  let pairs = List.sort compare pairs and acqs = List.sort compare acqs in
+  if json then begin
+    let b = Buffer.create 1024 in
+    let esc = Diagnostic.json_escape in
+    Buffer.add_string b "{\n  \"classes\": [";
+    List.iteri
+      (fun i (c : K.Lock.cls) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    {\"name\": \"%s\", \"rank\": %d, \"guards\": [%s]}"
+             (if i = 0 then "" else ",")
+             (esc c.K.Lock.cname) c.K.Lock.rank
+             (String.concat ", "
+                (List.map (fun g -> "\"" ^ esc g ^ "\"") c.K.Lock.guards))))
+      classes;
+    Buffer.add_string b "\n  ],\n  \"order_edges\": [";
+    List.iteri
+      (fun i (a, bn) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    [\"%s\", \"%s\"]"
+             (if i = 0 then "" else ",")
+             (esc a) (esc bn)))
+      edges;
+    Buffer.add_string b "\n  ],\n  \"specs\": ";
+    Buffer.add_string b (string_of_int (List.length model.K.Lock.specs));
+    Buffer.add_string b ",\n  \"seed_pair_counts\": [";
+    List.iteri
+      (fun i ((outer, inner), n) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s\n    {\"outer\": \"%s\", \"inner\": \"%s\", \"count\": %d}"
+             (if i = 0 then "" else ",")
+             (esc outer) (esc inner) n))
+      pairs;
+    Buffer.add_string b "\n  ],\n  \"seed_acquire_counts\": [";
+    List.iteri
+      (fun i (cls, n) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    {\"class\": \"%s\", \"count\": %d}"
+             (if i = 0 then "" else ",")
+             (esc cls) n))
+      acqs;
+    Buffer.add_string b "\n  ],\n  \"diagnostics\": [";
+    List.iteri
+      (fun i d ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    %s" (if i = 0 then "" else ",")
+             (Diagnostic.to_json d)))
+      ds;
+    Buffer.add_string b "\n  ]\n}";
+    Fmt.pr "%s@." (Buffer.contents b)
+  end
+  else begin
+    Fmt.pr "lock classes (%d):@." (List.length classes);
+    List.iter
+      (fun (c : K.Lock.cls) ->
+        Fmt.pr "  %-14s rank %3d  guards: %s@." c.K.Lock.cname c.K.Lock.rank
+          (if c.K.Lock.guards = [] then "-"
+           else String.concat ", " c.K.Lock.guards))
+      classes;
+    Fmt.pr "declared handler specs: %d@." (List.length model.K.Lock.specs);
+    Fmt.pr "lock-order graph (outer -> inner):@.";
+    if edges = [] then Fmt.pr "  (no nested acquisitions)@."
+    else List.iter (fun (a, bn) -> Fmt.pr "  %s -> %s@." a bn) edges;
+    Fmt.pr "seed-corpus lock-pair acquisitions:@.";
+    if pairs = [] then Fmt.pr "  (none)@."
+    else
+      List.iter
+        (fun ((outer, inner), n) -> Fmt.pr "  %-28s %6d@." (outer ^ " -> " ^ inner) n)
+        pairs;
+    Fmt.pr "seed-corpus acquisitions per class:@.";
+    List.iter (fun (cls, n) -> Fmt.pr "  %-28s %6d@." cls n) acqs;
+    if ds = [] then Fmt.pr "lockdep: model clean@."
+    else begin
+      Fmt.pr "lockdep findings:@.";
+      List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds
+    end
+  end;
+  if Diagnostic.has_errors ds then exit 1
+
+let run_analyze file prog seed_corpus json list_checks locks min_sev only =
+  if locks then run_locks json
+  else if list_checks then
     List.iter
       (fun (id, sev, doc, pass) ->
         Fmt.pr "%-26s %-7s %-12s %s@." id
@@ -458,6 +576,14 @@ let analyze_cmd =
           value & flag
           & info [ "list-checks" ]
               ~doc:"List every check ID with its severity and pass, then exit.")
+      $ Arg.(
+          value & flag
+          & info [ "locks" ]
+              ~doc:
+                "Report the declared lock model: classes with ranks and \
+                 guarded state, the lock-order graph, lockdep findings, and \
+                 the lock-pair acquisition counts observed while executing \
+                 the built-in seed corpus.")
       $ severity_arg $ only_arg)
 
 (* Deprecated: kept as a thin alias over the analyzer's lint pass so

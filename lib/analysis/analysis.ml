@@ -9,7 +9,10 @@ module Kernel = Healer_kernel.Kernel
 module Subsystem = Healer_kernel.Subsystem
 
 let passes : Pass.t list =
-  [ Semantics.pass; Reachability.pass; Drift.pass; Relations.pass; Lint.pass ]
+  [
+    Semantics.pass; Reachability.pass; Drift.pass; Relations.pass; Lint.pass;
+    Lockdep.pass;
+  ]
 
 (* Every (check ID, severity, description, pass name), for docs and
    `healer analyze --list-checks`. Loader pseudo-checks and the
@@ -40,6 +43,7 @@ let of_target ?(name = "target") target : Pass.input =
     handlers = None;
     file_ops = [];
     resolve = (fun line -> Some { Diagnostic.src = None; line });
+    locks = None;
     pre = [];
   }
 
@@ -57,6 +61,7 @@ let of_source ?(name = "source") src : Pass.input =
       handlers = None;
       file_ops = [];
       resolve;
+      locks = None;
       pre =
         [
           Diagnostic.v
@@ -77,6 +82,7 @@ let of_source ?(name = "source") src : Pass.input =
         handlers = None;
         file_ops = [];
         resolve;
+        locks = None;
         pre = [];
       }
     in
@@ -123,5 +129,6 @@ let of_kernel () : Pass.input =
     handlers = Some handlers;
     file_ops;
     resolve;
+    locks = Some (Kernel.lock_model ());
     pre = [];
   }

@@ -24,6 +24,10 @@ type input = {
   file_ops : (string * string) list;
   (* Maps a global decl line to a printable position. *)
   resolve : int -> Diagnostic.pos option;
+  (* The kernel's lock model (classes + declared handler specs); None
+     when analyzing a standalone description file, which disables the
+     lockdep pass. *)
+  locks : Healer_kernel.Lock.model option;
   (* Diagnostics produced while loading (parse/compile failures). *)
   pre : Diagnostic.t list;
 }

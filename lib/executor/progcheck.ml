@@ -75,7 +75,15 @@ let env_enabled () =
     | _ -> true)
 
 let debug = ref (env_enabled ())
-let set_debug b = debug := b
+
+(* One switch drives the whole debug-validation contract: flipping it
+   also arms (or disarms) the runtime lockdep validator down in
+   [Kernel.exec_call], so `Progcheck.set_debug true` — what the test
+   suite and the dune @analyze gates do — covers both. *)
+let set_debug b =
+  debug := b;
+  Healer_kernel.Lock.set_validate b
+
 let debug_enabled () = !debug
 
 (* ---- the checker ---- *)

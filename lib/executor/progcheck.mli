@@ -43,6 +43,10 @@ val is_clean : Healer_syzlang.Target.t -> Prog.t -> bool
 exception Invalid of string
 
 val set_debug : bool -> unit
+(** Also arms/disarms the runtime lockdep validator
+    ({!Healer_kernel.Lock.set_validate}): one switch for the whole
+    debug-validation contract. *)
+
 val debug_enabled : unit -> bool
 
 val debug_check : what:string -> Healer_syzlang.Target.t -> Prog.t -> unit

@@ -5,12 +5,23 @@ type t = {
   features : string list;
   proc : int;
   mutable fault_pending : bool;
+  mutable lock_held : Lock.cls list;
+  mutable lock_trace : Lock.op list;
 }
 
 type result = { ret : int64; err : Errno.t option }
 
 let make ?(features = []) ?(proc = 0) ~st ~san cov =
-  { st; cov; san; features; proc; fault_pending = false }
+  {
+    st;
+    cov;
+    san;
+    features;
+    proc;
+    fault_pending = false;
+    lock_held = [];
+    lock_trace = [];
+  }
 
 let ok ret = { ret; err = None }
 let ok0 = { ret = 0L; err = None }
@@ -37,3 +48,35 @@ let bug ctx key =
   if bug_fires ctx key then
     let b = Bug.find_exn key in
     raise (Crash.Crash { bug_key = key; risk = b.risk })
+
+(* Top-level so the hot path allocates no closure per acquire. *)
+let rec bump_pairs st held (c : Lock.cls) =
+  match held with
+  | [] -> ()
+  | h :: rest ->
+    State.bump_lock st (Lock.pair_counter h c);
+    bump_pairs st rest c
+
+let acquire ctx (c : Lock.cls) =
+  if Lock.hooks_enabled () then begin
+    bump_pairs ctx.st ctx.lock_held c;
+    State.bump_lock ctx.st (Lock.acq_counter c);
+    ctx.lock_held <- c :: ctx.lock_held;
+    if Lock.validate_enabled () then
+      ctx.lock_trace <- Lock.Acquire c.Lock.cname :: ctx.lock_trace
+  end
+
+let release ctx (c : Lock.cls) =
+  if Lock.hooks_enabled () then begin
+    (match ctx.lock_held with
+    | h :: rest when h.Lock.id = c.Lock.id -> ctx.lock_held <- rest
+    | held -> ctx.lock_held <- List.filter (fun h -> h.Lock.id <> c.Lock.id) held);
+    if Lock.validate_enabled () then
+      ctx.lock_trace <- Lock.Release c.Lock.cname :: ctx.lock_trace
+  end
+
+let with_lock ctx c f =
+  acquire ctx c;
+  Fun.protect ~finally:(fun () -> release ctx c) f
+
+let lock_trace ctx = List.rev ctx.lock_trace

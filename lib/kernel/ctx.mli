@@ -12,6 +12,13 @@ type t = {
   mutable fault_pending : bool;
       (** Set by the executor when fault injection targets the current
           call; {!take_fault} consumes it. *)
+  mutable lock_held : Lock.cls list;
+      (** Lock classes currently held, innermost first; maintained by
+          {!with_lock}. *)
+  mutable lock_trace : Lock.op list;
+      (** Acquisition trace in reverse order, recorded only under
+          {!Lock.validate_enabled}; {!lock_trace} returns it
+          chronologically. *)
 }
 
 type result = { ret : int64; err : Errno.t option }
@@ -55,3 +62,24 @@ val bug : t -> string -> unit
 
 val bug_fires : t -> string -> bool
 (** Would {!bug} raise? (Version and sanitizer check, no side effect.) *)
+
+(** {2 Lock hooks}
+
+    Handlers (normally via {!Subsystem.locked}) bracket their bodies
+    in {!with_lock}; since the simulator is single-threaded the hooks
+    never block — they account lock-pair coverage counters in
+    {!State.t} and, under {!Lock.validate_enabled}, record the
+    acquisition trace that {!Kernel.exec_call} checks against the
+    handler's declared spec. *)
+
+val acquire : t -> Lock.cls -> unit
+val release : t -> Lock.cls -> unit
+
+val with_lock : t -> Lock.cls -> (unit -> 'a) -> 'a
+(** [with_lock ctx c f] runs [f] holding [c]; the release is exception
+    safe ([Fun.protect]), so traces stay balanced when a handler
+    raises {!Crash.Crash} mid-section. *)
+
+val lock_trace : t -> Lock.op list
+(** The recorded trace, chronologically. Empty unless
+    {!Lock.validate_enabled}. *)

@@ -21,6 +21,11 @@ type State.fd_kind += Eventfd of eventfd | Timerfd of timerfd
 type State.global += Ipc of tables
 
 let blk = Coverage.region ~name:"ipc" ~size:512
+
+(* One class over the shm/sem/msg id tables (ipc_ids.rwsem writ
+   large) and the eventfd/timerfd per-instance payloads. *)
+let ipc_ids =
+  Lock.register ~rank:50 ~guards:[ "ipc"; "fd:eventfd"; "fd:timerfd" ] "ipc_ids"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let init st =
@@ -386,23 +391,41 @@ let copy_global : State.global -> State.global option = function
   | _ -> None
 
 let sub =
+  let l = Subsystem.locked [ ipc_ids ] in
+  let w = Lock.scoped [ "ipc_ids" ] ~touches:[ "ipc" ] in
+  let wt = Lock.scoped [ "ipc_ids" ] ~touches:[ "fd:timerfd" ] in
   Subsystem.make ~name:"ipc" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
         ("eventfd", h_eventfd);
         ("timerfd_create", h_timerfd_create);
-        ("timerfd_settime", h_timerfd_settime);
-        ("shmget", h_shmget);
-        ("shmat", h_shmat);
-        ("shmdt", h_shmdt);
-        ("shmctl$IPC_RMID", h_shm_rmid);
-        ("semget", h_semget);
-        ("semop", h_semop);
-        ("semctl$IPC_RMID", h_sem_rmid);
-        ("msgget", h_msgget);
-        ("msgsnd", h_msgsnd);
-        ("msgrcv", h_msgrcv);
-        ("msgctl$IPC_RMID", h_msg_rmid);
+        ("timerfd_settime", l h_timerfd_settime);
+        ("shmget", l h_shmget);
+        ("shmat", l h_shmat);
+        ("shmdt", l h_shmdt);
+        ("shmctl$IPC_RMID", l h_shm_rmid);
+        ("semget", l h_semget);
+        ("semop", l h_semop);
+        ("semctl$IPC_RMID", l h_sem_rmid);
+        ("msgget", l h_msgget);
+        ("msgsnd", l h_msgsnd);
+        ("msgrcv", l h_msgrcv);
+        ("msgctl$IPC_RMID", l h_msg_rmid);
+      ]
+    ~locks:
+      [
+        ("timerfd_settime", wt);
+        ("shmget", w);
+        ("shmat", w);
+        ("shmdt", w);
+        ("shmctl$IPC_RMID", w);
+        ("semget", w);
+        ("semop", w);
+        ("semctl$IPC_RMID", w);
+        ("msgget", w);
+        ("msgsnd", w);
+        ("msgrcv", w);
+        ("msgctl$IPC_RMID", w);
       ]
     ~file_ops:
       [

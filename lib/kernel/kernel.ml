@@ -131,6 +131,59 @@ let copy_global name g =
 
 let copy k =
   { k with st = State.copy ~copy_kind:copy_fd_kind ~copy_global k.st }
+
+(* The assembled lock model: every registered class (subsystem modules
+   register theirs at module-init time, which [subsystems ()] forces)
+   plus every subsystem's declared handler specs. *)
+let lock_model_memo =
+  lazy
+    (let subs = subsystems () in
+     {
+       Lock.classes = Lock.registered ();
+       specs =
+         List.concat_map
+           (fun (s : Subsystem.t) ->
+             List.map (fun (h, spec) -> (s.Subsystem.name, h, spec)) s.Subsystem.locks)
+           subs;
+     })
+
+let lock_model () = Lazy.force lock_model_memo
+
+let split_pair key =
+  (* "lock:pair:A->B" -> (A, B) *)
+  let body =
+    String.sub key
+      (String.length Lock.pair_prefix)
+      (String.length key - String.length Lock.pair_prefix)
+  in
+  match String.index_opt body '-' with
+  | Some i when i + 1 < String.length body && body.[i + 1] = '>' ->
+    (String.sub body 0 i, String.sub body (i + 2) (String.length body - i - 2))
+  | _ -> (body, "")
+
+let lock_pair_counts k =
+  List.filter_map
+    (fun (slot, v) ->
+      let key = Lock.slot_name slot in
+      if String.starts_with ~prefix:Lock.pair_prefix key then
+        Some (split_pair key, v)
+      else None)
+    (State.lock_slot_counts k.st)
+  |> List.sort compare
+
+let lock_acquire_counts k =
+  List.filter_map
+    (fun (slot, v) ->
+      let key = Lock.slot_name slot in
+      if String.starts_with ~prefix:Lock.acq_prefix key then
+        Some
+          ( String.sub key
+              (String.length Lock.acq_prefix)
+              (String.length key - String.length Lock.acq_prefix),
+            v )
+      else None)
+    (State.lock_slot_counts k.st)
+  |> List.sort compare
 let version k = State.version k.st
 let state k = k.st
 let sanitizers k = k.san
@@ -147,6 +200,8 @@ let force_init () =
   ignore (Lazy.force handler_table);
   ignore (Lazy.force subsystem_index);
   ignore (Lazy.force line_index);
+  ignore (lock_model ());
+  Lock.force_pairs ();
   Crash.preload ();
   Coverage.force_regions ()
 
@@ -166,6 +221,21 @@ let exec_call k ?(fault = false) ~cov (call : Syscall.t) args =
        itself with ENOMEM on a dedicated branch when the handler has
        not consumed the fault explicitly. *)
     let r = h ctx args in
+    (* Runtime lockdep (the HEALER_DEBUG_VALIDATE contract): the trace
+       this call actually recorded must match the handler's declared
+       spec and the global order graph — the static model can never
+       drift from handler behavior. Skipped when a Crash aborted the
+       call ([Fun.protect] in [Ctx.with_lock] still released
+       everything). *)
+    if Lock.validate_enabled () then begin
+      match
+        Lock.check_trace (lock_model ())
+          ~subsystem:(subsystem_of call.Syscall.name)
+          ~handler:call.Syscall.name (Ctx.lock_trace ctx)
+      with
+      | [] -> ()
+      | f :: _ -> raise (Lock.Violation f)
+    end;
     if Ctx.take_fault ctx then begin
       Coverage.hit cov (blk + 2);
       Ctx.err Errno.ENOMEM

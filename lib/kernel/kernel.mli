@@ -63,6 +63,23 @@ val state : t -> State.t
 val sanitizers : t -> Sanitizer.config
 val features : t -> string list
 
+(** {2 Lock model} *)
+
+val lock_model : unit -> Lock.model
+(** The assembled lock model: every registered {!Lock.cls} plus every
+    subsystem's declared handler specs. Memoized; the lockdep analysis
+    pass and the runtime validator below both read it. *)
+
+val lock_pair_counts : t -> ((string * string) * int) list
+(** Lock-pair acquisition counts accumulated by this kernel's
+    executions: [((outer, inner), n)] meaning [inner] was acquired [n]
+    times while [outer] was held. Sorted; empty when
+    {!Lock.hooks_enabled} was off. The queryable concurrency-coverage
+    signal behind [healer analyze --locks]. *)
+
+val lock_acquire_counts : t -> (string * int) list
+(** Total acquisitions per lock class, sorted by class name. *)
+
 val exec_call :
   t ->
   ?fault:bool ->
@@ -73,7 +90,9 @@ val exec_call :
 (** Execute one call against the kernel. Coverage lands in [cov]
     (caller resets it between calls). [fault] injects an allocation
     failure into this call. May raise {!Crash.Crash}. Unknown syscall
-    names return [ENOSYS]. *)
+    names return [ENOSYS]. Under {!Lock.validate_enabled} the call's
+    recorded lock-acquisition trace is checked against its declared
+    spec and the order graph; a divergence raises {!Lock.Violation}. *)
 
 val coredump : t -> cov:Coverage.t -> unit
 (** Run the core-dump path, entered after a fault-injected call kills

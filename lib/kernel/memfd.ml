@@ -7,6 +7,9 @@ type memfd = {
 type State.fd_kind += Memfd of memfd
 
 let blk = Coverage.region ~name:"memfd" ~size:128
+
+(* shmem_inode_info lock: seals and size of one memfd. *)
+let memfd_seals = Lock.register ~rank:70 ~guards:[ "fd:memfd" ] "memfd_seals"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let seal_seal = 0x1L
@@ -210,8 +213,13 @@ let sub =
     ~handlers:
       [
         ("memfd_create", h_memfd_create);
-        ("fcntl$ADD_SEALS", h_add_seals);
-        ("fcntl$GET_SEALS", h_get_seals);
+        ("fcntl$ADD_SEALS", Subsystem.locked [ memfd_seals ] h_add_seals);
+        ("fcntl$GET_SEALS", Subsystem.locked [ memfd_seals ] h_get_seals);
+      ]
+    ~locks:
+      [
+        ("fcntl$ADD_SEALS", Lock.scoped [ "memfd_seals" ] ~touches:[ "fd:memfd" ]);
+        ("fcntl$GET_SEALS", Lock.scoped [ "memfd_seals" ]);
       ]
     ~file_ops:
       [

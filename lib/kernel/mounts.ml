@@ -6,6 +6,9 @@ type mounts = {
 type State.global += Mounts of mounts
 
 let blk = Coverage.region ~name:"mounts" ~size:192
+
+(* namespace_sem: serializes the mount table. *)
+let namespace_sem = Lock.register ~rank:40 ~guards:[ "mounts" ] "namespace_sem"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let init st =
@@ -136,12 +139,21 @@ let copy_global : State.global -> State.global option = function
   | _ -> None
 
 let sub =
+  let l = Subsystem.locked [ namespace_sem ] in
+  let w = Lock.scoped [ "namespace_sem" ] ~touches:[ "mounts" ] in
   Subsystem.make ~name:"mounts" ~descriptions ~init ~copy_global
     ~handlers:
       [
-        ("mount$ext4", h_mount_ext4);
-        ("mount$nfs", h_mount_nfs);
-        ("mount$reiserfs", h_mount_reiserfs);
-        ("umount", h_umount);
+        ("mount$ext4", l h_mount_ext4);
+        ("mount$nfs", l h_mount_nfs);
+        ("mount$reiserfs", l h_mount_reiserfs);
+        ("umount", l h_umount);
+      ]
+    ~locks:
+      [
+        ("mount$ext4", w);
+        ("mount$nfs", w);
+        ("mount$reiserfs", w);
+        ("umount", w);
       ]
     ()

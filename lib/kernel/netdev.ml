@@ -12,6 +12,12 @@ type State.fd_kind += Packet_sock
 let blk = Coverage.region ~name:"netdev" ~size:256
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Like Linux's rtnl_mutex: one class serializing the device table for
+   both the ioctl paths here and the rtnetlink paths in [Netlink] (the
+   shared-table coupling below); also covers the address table those
+   rtnetlink handlers manage alongside the devices. *)
+let rtnl = Lock.register ~rank:10 ~guards:[ "netdevs"; "nl_addrs" ] "rtnl"
+
 let fresh name =
   { dname = name; up = false; qdisc_limit = None; last_xmit = 0; macvlan_dying = false }
 
@@ -254,17 +260,31 @@ let copy_global : State.global -> State.global option = function
   | _ -> None
 
 let sub =
+  let l = Subsystem.locked [ rtnl ] in
+  let w = Lock.scoped [ "rtnl" ] ~touches:[ "netdevs" ] in
+  let r = Lock.scoped [ "rtnl" ] in
   Subsystem.make ~name:"netdev" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
         ("socket$packet", h_socket_packet);
-        ("ioctl$ifup", h_ifup);
-        ("ioctl$ifdown", h_ifdown);
-        ("ioctl$macvlan_create", h_macvlan_create);
-        ("ioctl$macvlan_del", h_macvlan_del);
-        ("ioctl$qdisc_add", h_qdisc_add);
-        ("ioctl$qdisc_del", h_qdisc_del);
-        ("sendto$packet", h_sendto_packet);
-        ("recvfrom$packet", h_recv_packet);
+        ("ioctl$ifup", l h_ifup);
+        ("ioctl$ifdown", l h_ifdown);
+        ("ioctl$macvlan_create", l h_macvlan_create);
+        ("ioctl$macvlan_del", l h_macvlan_del);
+        ("ioctl$qdisc_add", l h_qdisc_add);
+        ("ioctl$qdisc_del", l h_qdisc_del);
+        ("sendto$packet", l h_sendto_packet);
+        ("recvfrom$packet", l h_recv_packet);
+      ]
+    ~locks:
+      [
+        ("ioctl$ifup", w);
+        ("ioctl$ifdown", w);
+        ("ioctl$macvlan_create", w);
+        ("ioctl$macvlan_del", w);
+        ("ioctl$qdisc_add", w);
+        ("ioctl$qdisc_del", w);
+        ("sendto$packet", w);
+        ("recvfrom$packet", r);
       ]
     ()

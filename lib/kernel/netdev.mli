@@ -22,6 +22,11 @@ type State.fd_kind += Packet_sock
     the two subsystems share genuine cross-subsystem influence
     relations (a netlink call unlocks packet-socket transmit paths). *)
 
+val rtnl : Lock.cls
+(** The rtnl_mutex analogue guarding the device table (["netdevs"])
+    and the rtnetlink address table (["nl_addrs"]); shared with
+    {!Netlink}'s RTM handlers, which mutate the same tables. *)
+
 val devs_of : State.t -> (string, netdev) Hashtbl.t
 (** The live device table. Raises [Failure] before {!sub}'s init ran. *)
 

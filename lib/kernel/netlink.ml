@@ -813,25 +813,57 @@ let copy_global : State.global -> State.global option = function
   | Nl_addrs tbl -> Some (Nl_addrs (Hashtbl.copy tbl))
   | _ -> None
 
+(* Lock classes. The rtnetlink handlers take [Netdev.rtnl] — the same
+   class as the netdev ioctl paths — because they mutate the same
+   device table; guard-coverage flagged exactly this cross-subsystem
+   sharing when they were first annotated with a netlink-local class.
+   The per-socket receive state (queues, memberships, dump cursors)
+   nests inside under its own class, like lock_sock inside rtnl. *)
+let genl_mutex = Lock.register ~rank:20 ~guards:[ "genl_families" ] "genl_mutex"
+let nl_sock_lock = Lock.register ~rank:90 ~guards:[ "fd:nl_sock" ] "nl_sock"
+
 let sub =
+  let rt = Subsystem.locked [ Netdev.rtnl; nl_sock_lock ] in
+  let ge = Subsystem.locked [ genl_mutex; nl_sock_lock ] in
+  let sk = Subsystem.locked [ nl_sock_lock ] in
+  let rt_spec touches = Lock.scoped [ "rtnl"; "nl_sock" ] ~touches in
+  let ge_spec touches = Lock.scoped [ "genl_mutex"; "nl_sock" ] ~touches in
+  let sk_spec touches = Lock.scoped [ "nl_sock" ] ~touches in
   Subsystem.make ~name:"netlink" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
         ("socket$nl_route", h_socket_route);
         ("socket$nl_generic", h_socket_generic);
-        ("sendmsg$RTM_NEWLINK", h_newlink);
-        ("sendmsg$RTM_DELLINK", h_dellink);
-        ("sendmsg$RTM_SETLINK", h_setlink);
-        ("sendmsg$RTM_GETLINK", h_getlink);
-        ("sendmsg$RTM_NEWADDR", h_newaddr);
-        ("sendmsg$RTM_GETADDR", h_getaddr);
-        ("sendmsg$RTM_NEWQDISC", h_newqdisc);
-        ("recvmsg$netlink", h_recvmsg);
-        ("sendmsg$GETFAMILY", h_getfamily);
-        ("bind$nl_generic", h_bind_genl);
-        ("sendmsg$genl", h_genl_send);
-        ("sendmsg$devlink_reload", h_devlink_reload);
-        ("sendmsg$nlctrl_unregister", h_nlctrl_unregister);
-        ("setsockopt$NETLINK_ADD_MEMBERSHIP", h_add_membership);
+        ("sendmsg$RTM_NEWLINK", rt h_newlink);
+        ("sendmsg$RTM_DELLINK", rt h_dellink);
+        ("sendmsg$RTM_SETLINK", rt h_setlink);
+        ("sendmsg$RTM_GETLINK", rt h_getlink);
+        ("sendmsg$RTM_NEWADDR", rt h_newaddr);
+        ("sendmsg$RTM_GETADDR", rt h_getaddr);
+        ("sendmsg$RTM_NEWQDISC", rt h_newqdisc);
+        ("recvmsg$netlink", sk h_recvmsg);
+        ("sendmsg$GETFAMILY", ge h_getfamily);
+        ("bind$nl_generic", ge h_bind_genl);
+        ("sendmsg$genl", ge h_genl_send);
+        ("sendmsg$devlink_reload", ge h_devlink_reload);
+        ("sendmsg$nlctrl_unregister", Subsystem.locked [ genl_mutex ] h_nlctrl_unregister);
+        ("setsockopt$NETLINK_ADD_MEMBERSHIP", sk h_add_membership);
+      ]
+    ~locks:
+      [
+        ("sendmsg$RTM_NEWLINK", rt_spec [ "netdevs"; "fd:nl_sock" ]);
+        ("sendmsg$RTM_DELLINK", rt_spec [ "netdevs"; "nl_addrs"; "fd:nl_sock" ]);
+        ("sendmsg$RTM_SETLINK", rt_spec [ "netdevs"; "fd:nl_sock" ]);
+        ("sendmsg$RTM_GETLINK", rt_spec [ "fd:nl_sock" ]);
+        ("sendmsg$RTM_NEWADDR", rt_spec [ "nl_addrs"; "fd:nl_sock" ]);
+        ("sendmsg$RTM_GETADDR", rt_spec [ "fd:nl_sock" ]);
+        ("sendmsg$RTM_NEWQDISC", rt_spec [ "netdevs"; "fd:nl_sock" ]);
+        ("recvmsg$netlink", sk_spec [ "fd:nl_sock" ]);
+        ("sendmsg$GETFAMILY", ge_spec [ "fd:nl_sock" ]);
+        ("bind$nl_generic", ge_spec [ "fd:nl_sock" ]);
+        ("sendmsg$genl", ge_spec [ "genl_families"; "fd:nl_sock" ]);
+        ("sendmsg$devlink_reload", ge_spec [ "genl_families"; "fd:nl_sock" ]);
+        ("sendmsg$nlctrl_unregister", Lock.scoped [ "genl_mutex" ] ~touches:[ "genl_families" ]);
+        ("setsockopt$NETLINK_ADD_MEMBERSHIP", sk_spec [ "fd:nl_sock" ]);
       ]
     ()

@@ -21,6 +21,10 @@ type State.fd_kind += Sock of sock
 type State.global += Rxrpc_locals of (int64, int) Hashtbl.t
 
 let blk = Coverage.region ~name:"sock" ~size:1024
+
+(* lock_sock: per-socket payload state plus the rxrpc local-endpoint
+   table its bind path manages. *)
+let sk_lock = Lock.register ~rank:60 ~guards:[ "rxrpc"; "fd:sock" ] "sk_lock"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let proto_index = function
@@ -597,6 +601,9 @@ let copy_global : State.global -> State.global option = function
   | _ -> None
 
 let sub =
+  let l = Subsystem.locked [ sk_lock ] in
+  let w touches = Lock.scoped [ "sk_lock" ] ~touches in
+  let wsk = Lock.scoped [ "sk_lock" ] ~touches:[ "fd:sock" ] in
   Subsystem.make ~name:"sock" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
@@ -607,25 +614,47 @@ let sub =
         ("socket$raw", h_socket Raw);
         ("socket$rxrpc", h_socket Rxrpc);
         ("socket$rds", h_socket Rds);
-        ("bind", h_bind);
-        ("bind$rxrpc", h_bind_rxrpc);
-        ("listen", h_listen);
-        ("accept", h_accept);
-        ("connect", h_connect);
-        ("connect$unspec", h_connect_unspec);
-        ("sendto", h_sendto);
-        ("recvfrom", h_recvfrom);
-        ("setsockopt$SO_SNDBUF", h_setsockopt_sndbuf);
-        ("setsockopt$SO_RCVBUF", h_setsockopt_rcvbuf);
-        ("setsockopt$SO_KEEPALIVE", h_setsockopt_keepalive);
-        ("getsockopt$SO_ERROR", h_getsockopt_error);
-        ("ioctl$FIONREAD", h_fionread);
-        ("accept4", h_accept4);
-        ("sendmsg", h_sendmsg);
-        ("setsockopt$SO_LINGER", h_setsockopt_linger);
-        ("setsockopt$rds_ib", h_setsockopt_rds_ib);
-        ("getsockname", h_getsockname);
-        ("shutdown", h_shutdown);
+        ("bind", l h_bind);
+        ("bind$rxrpc", l h_bind_rxrpc);
+        ("listen", l h_listen);
+        ("accept", l h_accept);
+        ("connect", l h_connect);
+        ("connect$unspec", l h_connect_unspec);
+        ("sendto", l h_sendto);
+        ("recvfrom", l h_recvfrom);
+        ("setsockopt$SO_SNDBUF", l h_setsockopt_sndbuf);
+        ("setsockopt$SO_RCVBUF", l h_setsockopt_rcvbuf);
+        ("setsockopt$SO_KEEPALIVE", l h_setsockopt_keepalive);
+        ("getsockopt$SO_ERROR", l h_getsockopt_error);
+        ("ioctl$FIONREAD", l h_fionread);
+        ("accept4", l h_accept4);
+        ("sendmsg", l h_sendmsg);
+        ("setsockopt$SO_LINGER", l h_setsockopt_linger);
+        ("setsockopt$rds_ib", l h_setsockopt_rds_ib);
+        ("getsockname", l h_getsockname);
+        ("shutdown", l h_shutdown);
+      ]
+    ~locks:
+      [
+        ("bind", wsk);
+        ("bind$rxrpc", w [ "rxrpc"; "fd:sock" ]);
+        ("listen", wsk);
+        ("accept", wsk);
+        ("connect", wsk);
+        ("connect$unspec", wsk);
+        ("sendto", wsk);
+        ("recvfrom", wsk);
+        ("setsockopt$SO_SNDBUF", wsk);
+        ("setsockopt$SO_RCVBUF", wsk);
+        ("setsockopt$SO_KEEPALIVE", wsk);
+        ("getsockopt$SO_ERROR", wsk);
+        ("ioctl$FIONREAD", w []);
+        ("accept4", wsk);
+        ("sendmsg", wsk);
+        ("setsockopt$SO_LINGER", wsk);
+        ("setsockopt$rds_ib", wsk);
+        ("getsockname", w []);
+        ("shutdown", wsk);
       ]
     ~file_ops:
       [

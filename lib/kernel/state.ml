@@ -17,6 +17,10 @@ type t = {
   mutable ops : int;
   globals : (string, global) Hashtbl.t;
   counters : (string, int) Hashtbl.t;
+  (* Lock-acquisition counters, indexed by [Lock]'s dense counter
+     slots. A plain int array keeps the per-acquire hook at an array
+     increment; grown on demand. *)
+  mutable lock_counts : int array;
 }
 
 let create ~version =
@@ -27,6 +31,7 @@ let create ~version =
     ops = 0;
     globals = Hashtbl.create 16;
     counters = Hashtbl.create 16;
+    lock_counts = [||];
   }
 
 let version t = t.kversion
@@ -112,6 +117,7 @@ let copy ~copy_kind ~copy_global t =
     ops = t.ops;
     globals;
     counters = Hashtbl.copy t.counters;
+    lock_counts = Array.copy t.lock_counts;
   }
 
 let incr_counter t name =
@@ -123,3 +129,19 @@ let counter t name =
   match Hashtbl.find_opt t.counters name with Some v -> v | None -> 0
 
 let set_counter t name v = Hashtbl.replace t.counters name v
+let fold_counters f t init = Hashtbl.fold f t.counters init
+
+let bump_lock t slot =
+  let n = Array.length t.lock_counts in
+  if slot >= n then begin
+    let a = Array.make (max 16 (max (slot + 1) (2 * n))) 0 in
+    Array.blit t.lock_counts 0 a 0 n;
+    t.lock_counts <- a
+  end;
+  let a = t.lock_counts in
+  Array.unsafe_set a slot (Array.unsafe_get a slot + 1)
+
+let lock_slot_counts t =
+  let out = ref [] in
+  Array.iteri (fun i n -> if n > 0 then out := (i, n) :: !out) t.lock_counts;
+  List.rev !out

@@ -96,3 +96,21 @@ val incr_counter : t -> string -> int
 
 val counter : t -> string -> int
 val set_counter : t -> string -> int -> unit
+
+val fold_counters : (string -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every named counter (unspecified order — sort for
+    deterministic output). *)
+
+(** {2 Lock-acquisition counters}
+
+    Dense integer slots (assigned by [Lock]) into a plain int array,
+    so the per-acquire accounting hook is an array increment — far
+    cheaper than a string-keyed counter on the execution hot path.
+    Copied by {!copy} like every other piece of state. *)
+
+val bump_lock : t -> int -> unit
+(** Increment a lock-counter slot, growing the array on demand. *)
+
+val lock_slot_counts : t -> (int * int) list
+(** The non-zero [(slot, count)] pairs, in slot order.
+    {!Kernel.lock_pair_counts} maps slots back to printable keys. *)

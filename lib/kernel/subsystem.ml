@@ -14,12 +14,20 @@ type t = {
   file_ops : file_op list;
   copy_kind : State.fd_kind -> State.fd_kind option;
   copy_global : State.global -> State.global option;
+  locks : (string * Lock.spec) list;
 }
 
 let make ?(init = fun _ -> ()) ?(handlers = []) ?(file_ops = [])
-    ?(copy_kind = fun _ -> None) ?(copy_global = fun _ -> None) ~name
-    ~descriptions () =
-  { name; descriptions; init; handlers; file_ops; copy_kind; copy_global }
+    ?(copy_kind = fun _ -> None) ?(copy_global = fun _ -> None) ?(locks = [])
+    ~name ~descriptions () =
+  { name; descriptions; init; handlers; file_ops; copy_kind; copy_global; locks }
+
+let locked classes h ctx args =
+  let rec go = function
+    | [] -> h ctx args
+    | c :: rest -> Ctx.with_lock ctx c (fun () -> go rest)
+  in
+  go classes
 
 let registry : t list ref = ref []
 

@@ -24,6 +24,12 @@ type t = {
           own constructors here or {!Kernel.copy} fails loudly. *)
   copy_global : State.global -> State.global option;
       (** Same, for {!State.global} slots installed at boot. *)
+  locks : (string * Lock.spec) list;
+      (** Declared lock specs, keyed by handler name. Deliberately
+          separate from the {!locked} wrappers on the handlers
+          themselves: the runtime validator in {!Kernel.exec_call}
+          cross-checks actual acquisition traces against these, so the
+          two cannot drift silently. *)
 }
 
 val make :
@@ -32,10 +38,16 @@ val make :
   ?file_ops:file_op list ->
   ?copy_kind:(State.fd_kind -> State.fd_kind option) ->
   ?copy_global:(State.global -> State.global option) ->
+  ?locks:(string * Lock.spec) list ->
   name:string ->
   descriptions:string ->
   unit ->
   t
+
+val locked : Lock.cls list -> handler -> handler
+(** [locked classes h] wraps [h] so its body runs under
+    {!Ctx.with_lock} for each class, acquired in list order and
+    released in reverse. *)
 
 val register : t -> unit
 (** Idempotent (keyed by name); installs the subsystem's file_ops into

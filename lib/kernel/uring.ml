@@ -9,6 +9,9 @@ type uring = {
 type State.fd_kind += Uring of uring
 
 let blk = Coverage.region ~name:"uring" ~size:192
+
+(* ctx->uring_lock: SQ/CQ rings and the registered-buffer table. *)
+let uring_ctx = Lock.register ~rank:80 ~guards:[ "fd:uring" ] "uring_ctx"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let h_setup ctx args =
@@ -158,10 +161,18 @@ let sub =
     ~handlers:
       [
         ("io_uring_setup", h_setup);
-        ("io_uring_enter", h_enter);
-        ("io_uring_register$BUFFERS", h_register_buffers);
-        ("io_uring_register$UNREGISTER_BUFFERS", h_unregister_buffers);
+        ("io_uring_enter", Subsystem.locked [ uring_ctx ] h_enter);
+        ("io_uring_register$BUFFERS", Subsystem.locked [ uring_ctx ] h_register_buffers);
+        ( "io_uring_register$UNREGISTER_BUFFERS",
+          Subsystem.locked [ uring_ctx ] h_unregister_buffers );
       ]
+    ~locks:
+      (let w = Lock.scoped [ "uring_ctx" ] ~touches:[ "fd:uring" ] in
+       [
+         ("io_uring_enter", w);
+         ("io_uring_register$BUFFERS", w);
+         ("io_uring_register$UNREGISTER_BUFFERS", w);
+       ])
     ~file_ops:
       [
         {

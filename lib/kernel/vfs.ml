@@ -42,6 +42,14 @@ let o_creat = 0x40L
 let o_trunc = 0x200L
 
 let blk = Coverage.region ~name:"vfs" ~size:512
+
+(* One class for the namespace/inode/aio/chr state and open-file
+   payloads (i_rwsem writ large); epoll's per-instance state nests
+   under its own class like ep->mtx. *)
+let vfs_files =
+  Lock.register ~rank:30 ~guards:[ "fs"; "fd:file"; "fd:chr" ] "vfs_files"
+
+let ep_mutex = Lock.register ~rank:35 ~guards:[ "fd:epoll" ] "ep_mutex"
 let c ctx o = Ctx.cover ctx (blk + o)
 
 let fs_of st =
@@ -1009,41 +1017,77 @@ let copy_global : State.global -> State.global option = function
   | _ -> None
 
 let sub =
+  let l = Subsystem.locked [ vfs_files ] in
+  let ep = Subsystem.locked [ ep_mutex ] in
+  let w touches = Lock.scoped [ "vfs_files" ] ~touches in
+  let ep_spec = Lock.scoped [ "ep_mutex" ] ~touches:[ "fd:epoll" ] in
   Subsystem.make ~name:"vfs" ~descriptions ~init ~copy_kind ~copy_global
     ~handlers:
       [
-        ("open", h_open);
-        ("openat", h_openat);
-        ("close", h_close);
-        ("read", h_read);
-        ("write", h_write);
-        ("lseek", h_lseek);
+        ("open", l h_open);
+        ("openat", l h_openat);
+        ("close", l h_close);
+        ("read", l h_read);
+        ("write", l h_write);
+        ("lseek", l h_lseek);
         ("dup", h_dup);
-        ("fsync", h_fsync);
-        ("ftruncate", h_ftruncate);
-        ("fallocate", h_fallocate);
-        ("fstat", h_fstat);
-        ("link", h_link);
-        ("unlink", h_unlink);
-        ("mknod$chr", h_mknod_chr);
-        ("open$chr", h_open_chr);
-        ("mmap", h_mmap);
+        ("fsync", l h_fsync);
+        ("ftruncate", l h_ftruncate);
+        ("fallocate", l h_fallocate);
+        ("fstat", l h_fstat);
+        ("link", l h_link);
+        ("unlink", l h_unlink);
+        ("mknod$chr", l h_mknod_chr);
+        ("open$chr", l h_open_chr);
+        ("mmap", l h_mmap);
         ("munmap", h_munmap);
         ("epoll_create", h_epoll_create);
-        ("epoll_ctl$EPOLL_CTL_ADD", h_epoll_ctl_add);
-        ("epoll_ctl$EPOLL_CTL_DEL", h_epoll_ctl_del);
-        ("epoll_wait", h_epoll_wait);
-        ("pread", h_pread);
-        ("pwrite", h_pwrite);
-        ("mkdir", h_mkdir);
-        ("rmdir", h_rmdir);
-        ("rename", h_rename);
-        ("flock", h_flock);
-        ("fcntl$GETFL", h_fcntl_getfl);
-        ("fcntl$SETFL", h_fcntl_setfl);
-        ("io_setup", h_io_setup);
-        ("io_submit", h_io_submit);
-        ("io_destroy", h_io_destroy);
+        ("epoll_ctl$EPOLL_CTL_ADD", ep h_epoll_ctl_add);
+        ("epoll_ctl$EPOLL_CTL_DEL", ep h_epoll_ctl_del);
+        ("epoll_wait", ep h_epoll_wait);
+        ("pread", l h_pread);
+        ("pwrite", l h_pwrite);
+        ("mkdir", l h_mkdir);
+        ("rmdir", l h_rmdir);
+        ("rename", l h_rename);
+        ("flock", l h_flock);
+        ("fcntl$GETFL", l h_fcntl_getfl);
+        ("fcntl$SETFL", l h_fcntl_setfl);
+        ("io_setup", l h_io_setup);
+        ("io_submit", l h_io_submit);
+        ("io_destroy", l h_io_destroy);
+      ]
+    ~locks:
+      [
+        ("open", w [ "fs"; "fd:file" ]);
+        ("openat", w [ "fs"; "fd:file" ]);
+        ("close", w [ "fs"; "fd:file" ]);
+        ("read", w [ "fd:file" ]);
+        ("write", w [ "fs"; "fd:file"; "fd:chr" ]);
+        ("lseek", w [ "fd:file" ]);
+        ("fsync", w []);
+        ("ftruncate", w [ "fs" ]);
+        ("fallocate", w [ "fs" ]);
+        ("fstat", w [ "fs" ]);
+        ("link", w [ "fs" ]);
+        ("unlink", w [ "fs" ]);
+        ("mknod$chr", w [ "fs" ]);
+        ("open$chr", w [ "fs"; "fd:chr" ]);
+        ("mmap", w [ "fd:file" ]);
+        ("epoll_ctl$EPOLL_CTL_ADD", ep_spec);
+        ("epoll_ctl$EPOLL_CTL_DEL", ep_spec);
+        ("epoll_wait", ep_spec);
+        ("pread", w []);
+        ("pwrite", w [ "fs" ]);
+        ("mkdir", w [ "fs" ]);
+        ("rmdir", w [ "fs" ]);
+        ("rename", w [ "fs" ]);
+        ("flock", w [ "fs" ]);
+        ("fcntl$GETFL", w []);
+        ("fcntl$SETFL", w [ "fd:file" ]);
+        ("io_setup", w [ "fs" ]);
+        ("io_submit", w [ "fs" ]);
+        ("io_destroy", w [ "fs" ]);
       ]
     ~file_ops:
       [

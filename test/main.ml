@@ -30,4 +30,5 @@ let () =
       ("persist", Test_persist.suite);
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
+      ("lockdep", Test_lockdep.suite);
     ]
