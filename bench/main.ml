@@ -712,6 +712,102 @@ let lockdep_smoke () =
   Fmt.pr "  %-26s %13.1f%%@." "lockdep overhead"
     (if off > 0.0 then (on -. off) /. off *. 100.0 else 0.0)
 
+(* ---- compiled-engine smoke (cheap enough for every build) ---- *)
+
+(* Compile once, execute many: lowering cost, fresh-run cost, the
+   isolated exec loop with the reboot amortized away, and the warm
+   probe loop (the minimization/relearning workload the compiled
+   engine plus the prefix cache serve together). Measured with the
+   lockdep_smoke min-of-batches method. Before timing anything, every
+   seed program must produce bit-identical results on both engines —
+   a broken compile path fails this section, and with it `dune
+   runtest` (via @bench-smoke). *)
+let compiled_smoke () =
+  section "Compiled execution (compile once, execute many)";
+  let module E = Healer_executor in
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let cov = K.Coverage.create () in
+  let progs = Seeds.traces target @ Seeds.distilled target in
+  let nprogs = List.length progs in
+  let compiled = List.map E.Compiled.compile progs in
+  (* Differential gate over the whole seed corpus. *)
+  List.iter2
+    (fun p c ->
+      let _, ri = E.Exec.run ~cov kernel p in
+      let _, rc = E.Exec.run_compiled ~cov kernel c in
+      if ri <> rc then
+        failwith
+          ("compiled engine diverged from the interpreter on:\n"
+          ^ E.Prog.to_string p))
+    progs compiled;
+  Fmt.pr "  differential gate: %d seed programs bit-identical@." nprogs;
+  let batches = 12 and rounds = 200 in
+  let measure name pass =
+    ignore (pass ());
+    let best = ref infinity in
+    for _ = 1 to batches do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        pass ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      best := Float.min !best (dt /. float_of_int (rounds * nprogs) *. 1e9)
+    done;
+    micro_results := !micro_results @ [ (name, !best) ];
+    Fmt.pr "  %-30s %12.0f@." name !best;
+    !best
+  in
+  let compile_ns =
+    measure "compile program" (fun () ->
+        List.iter (fun p -> ignore (E.Compiled.compile p)) progs)
+  in
+  let interp_fresh =
+    measure "exec interpreted (fresh)" (fun () ->
+        List.iter (fun p -> ignore (E.Exec.run ~cov kernel p)) progs)
+  in
+  let comp_fresh =
+    measure "exec compiled (fresh)" (fun () ->
+        List.iter (fun c -> ignore (E.Exec.run_compiled ~cov kernel c)) compiled)
+  in
+  (* The exec loop itself: one reboot per corpus pass (amortized to
+     noise) isolates per-call dispatch/resolve/patch cost from the
+     fresh-boot floor both engines share. *)
+  let interp_loop =
+    measure "exec loop interpreted" (fun () ->
+        let k = K.Kernel.reboot kernel in
+        List.iter
+          (fun p -> ignore (E.Exec.run ~fresh_state:false ~cov k p))
+          progs)
+  in
+  let comp_loop =
+    measure "exec loop compiled" (fun () ->
+        let k = K.Kernel.reboot kernel in
+        List.iter
+          (fun c -> ignore (E.Exec.run_compiled ~fresh_state:false ~cov k c))
+          compiled)
+  in
+  (* Execute-many steady state: the probe loop re-running programs it
+     has seen — compiled forms reused from the trie, results resumed
+     from cached prefixes. This is the workload minimization and
+     relation learning put through the executor. *)
+  let probe_cache = E.Exec_cache.create ~version:K.Version.V5_11 () in
+  List.iter (fun p -> ignore (E.Exec_cache.run probe_cache ~cov p)) progs;
+  List.iter (fun p -> ignore (E.Exec_cache.run probe_cache ~cov p)) progs;
+  let warm =
+    measure "exec compiled (execute many)" (fun () ->
+        List.iter (fun p -> ignore (E.Exec_cache.run probe_cache ~cov p)) progs)
+  in
+  let st = E.Exec_cache.stats probe_cache in
+  Fmt.pr "  %-30s %d lowered / %d reused from trie@." "compiled calls"
+    st.E.Exec_cache.compiled_calls st.E.Exec_cache.reused_ccalls;
+  let ratio a b = if b > 0.0 then a /. b else 0.0 in
+  Fmt.pr "  %-30s %11.1fx@." "compile cost vs one fresh run"
+    (ratio compile_ns interp_fresh);
+  Fmt.pr "  %-30s %11.1fx@." "fresh-run speedup" (ratio interp_fresh comp_fresh);
+  Fmt.pr "  %-30s %11.1fx@." "exec-loop speedup" (ratio interp_loop comp_loop);
+  Fmt.pr "  %-30s %11.1fx@." "execute-many speedup" (ratio interp_fresh warm)
+
 (* ---- main ---- *)
 
 let sections =
@@ -719,7 +815,7 @@ let sections =
     ("fig4", fig4); ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
     ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
-    ("lockdep", lockdep_smoke);
+    ("lockdep", lockdep_smoke); ("compiled", compiled_smoke);
   ]
 
 (* ---- machine-readable results (--json) ---- *)
@@ -762,12 +858,15 @@ let write_json ~jobs ~section_times () =
     field
       "\"exec_cache\": {\"hits\": %d, \"full_hits\": %d, \"misses\": %d, \
        \"hit_rate\": %.3f, \"evictions\": %d, \"flushes\": %d, \
-       \"resumed_calls\": %d, \"executed_calls\": %d}"
+       \"resumed_calls\": %d, \"executed_calls\": %d, \
+       \"compiled_calls\": %d, \"reused_ccalls\": %d}"
       s.Healer_executor.Exec_cache.hits s.Healer_executor.Exec_cache.full_hits
       s.Healer_executor.Exec_cache.misses rate
       s.Healer_executor.Exec_cache.evictions s.Healer_executor.Exec_cache.flushes
       s.Healer_executor.Exec_cache.resumed_calls
       s.Healer_executor.Exec_cache.executed_calls
+      s.Healer_executor.Exec_cache.compiled_calls
+      s.Healer_executor.Exec_cache.reused_ccalls
   | None -> field "\"exec_cache\": null");
   field ~last:true "%s"
     (obj_list "micro" !micro_results (fun (name, ns) ->

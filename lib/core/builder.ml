@@ -5,6 +5,25 @@ module Prog = Healer_executor.Prog
 
 let max_prog_len = 32
 
+(* All assembly runs on a {!Prog.Builder.t}: producer-chain insertion
+   adds one call at a time, which on the immutable program costs a
+   full copy per call. The [Prog.t] entry points below wrap a builder
+   around the same logic (identical Rng draw sequence, so guided
+   generation is reproducible across both forms). *)
+
+let producers_for_b target b ~upto kind =
+  let acc = ref [] in
+  for k = min upto (Prog.Builder.length b) - 1 downto 0 do
+    let c = (Prog.Builder.call b k).Prog.syscall in
+    let produced = Target.produces target c in
+    if
+      List.exists
+        (fun r -> Target.compatible target ~consumer:kind ~producer:r)
+        produced
+    then acc := k :: !acc
+  done;
+  !acc
+
 let producers_for target p ~upto kind =
   let acc = ref [] in
   for k = min upto (Prog.length p) - 1 downto 0 do
@@ -18,46 +37,67 @@ let producers_for target p ~upto kind =
   done;
   !acc
 
-let value_ctx target p ~at =
+let value_ctx_b target b ~at =
   {
     Value_gen.target;
-    producers = (fun kind -> producers_for target p ~upto:at kind);
+    producers = (fun kind -> producers_for_b target b ~upto:at kind);
   }
 
-let make_call rng target p ~at (call : Syscall.t) =
-  let args = Value_gen.gen_args rng (value_ctx target p ~at) call in
+let make_call_b rng target b ~at (call : Syscall.t) =
+  let args = Value_gen.gen_args rng (value_ctx_b target b ~at) call in
   { Prog.syscall = call; args }
 
+let make_call rng target p ~at (call : Syscall.t) =
+  let ctx =
+    {
+      Value_gen.target;
+      producers = (fun kind -> producers_for target p ~upto:at kind);
+    }
+  in
+  { Prog.syscall = call; args = Value_gen.gen_args rng ctx call }
+
 (* Insert producers for the consumed kinds of [call] that have no
-   compatible producer before [at]; returns the program and the
-   position where [call] itself should now go. *)
-let rec ensure_producers rng target p ~at ~depth (call : Syscall.t) =
-  if depth <= 0 || Prog.length p >= max_prog_len then (p, at)
+   compatible producer before [at]; returns the position where [call]
+   itself should now go. *)
+let rec ensure_producers_b rng target b ~at ~depth (call : Syscall.t) =
+  if depth <= 0 || Prog.Builder.length b >= max_prog_len then at
   else
     List.fold_left
-      (fun (p, at) kind ->
-        if Prog.length p >= max_prog_len then (p, at)
-        else if producers_for target p ~upto:at kind <> [] then (p, at)
+      (fun at kind ->
+        if Prog.Builder.length b >= max_prog_len then at
+        else if producers_for_b target b ~upto:at kind <> [] then at
         else
           match Target.producers_of target kind with
-          | [] -> (p, at)
+          | [] -> at
           | cands ->
             let producer = Rng.pick rng cands in
-            if producer.Syscall.id = call.Syscall.id then (p, at)
+            if producer.Syscall.id = call.Syscall.id then at
             else begin
-              let p, at' = ensure_producers rng target p ~at ~depth:(depth - 1) producer in
-              if Prog.length p >= max_prog_len then (p, at')
+              let at' =
+                ensure_producers_b rng target b ~at ~depth:(depth - 1) producer
+              in
+              if Prog.Builder.length b >= max_prog_len then at'
               else begin
-                let pc = make_call rng target p ~at:at' producer in
-                (Prog.insert p at' pc, at' + 1)
+                let pc = make_call_b rng target b ~at:at' producer in
+                Prog.Builder.insert b at' pc;
+                at' + 1
               end
             end)
-      (p, at) (Target.consumes target call)
+      at (Target.consumes target call)
+
+let insert_call_b rng target b ~at (call : Syscall.t) =
+  let at = min at (Prog.Builder.length b) in
+  let at = ensure_producers_b rng target b ~at ~depth:3 call in
+  if Prog.Builder.length b < max_prog_len then
+    let c = make_call_b rng target b ~at call in
+    Prog.Builder.insert b at c
+
+let append_call_b rng target b call =
+  insert_call_b rng target b ~at:(Prog.Builder.length b) call
 
 let insert_call rng target p ~at (call : Syscall.t) =
-  let at = min at (Prog.length p) in
-  let p, at = ensure_producers rng target p ~at ~depth:3 call in
-  if Prog.length p >= max_prog_len then p
-  else Prog.insert p at (make_call rng target p ~at call)
+  let b = Prog.Builder.of_prog p in
+  insert_call_b rng target b ~at call;
+  Prog.Builder.to_prog b
 
 let append_call rng target p call = insert_call rng target p ~at:(Prog.length p) call

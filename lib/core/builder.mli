@@ -39,6 +39,44 @@ val append_call :
   Healer_syzlang.Syscall.t ->
   Healer_executor.Prog.t
 
+(** {2 Builder-backed assembly}
+
+    The same operations over a mutable {!Healer_executor.Prog.Builder},
+    for callers that chain many insertions (generation, guided
+    mutation): amortized one array slot per inserted call instead of a
+    whole-program copy. Draw-for-draw identical Rng usage with the
+    immutable forms above. *)
+
+val producers_for_b :
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.Builder.t ->
+  upto:int ->
+  string ->
+  int list
+
+val make_call_b :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.Builder.t ->
+  at:int ->
+  Healer_syzlang.Syscall.t ->
+  Healer_executor.Prog.call
+
+val insert_call_b :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.Builder.t ->
+  at:int ->
+  Healer_syzlang.Syscall.t ->
+  unit
+
+val append_call_b :
+  Healer_util.Rng.t ->
+  Healer_syzlang.Target.t ->
+  Healer_executor.Prog.Builder.t ->
+  Healer_syzlang.Syscall.t ->
+  unit
+
 val max_prog_len : int
 (** Hard cap on generated program length (the paper's sequences range
     up to ~32 calls). *)

@@ -7,37 +7,46 @@ let syscall_ids p ~upto =
   List.init (min upto (Prog.length p)) (fun k ->
       (Prog.call p k).Prog.syscall.Syscall.id)
 
-let seed_pair rng target =
+let syscall_ids_b b ~upto =
+  List.init (min upto (Prog.Builder.length b)) (fun k ->
+      (Prog.Builder.call b k).Prog.syscall.Syscall.id)
+
+let seed_pair_b rng target b =
   match Target.resource_kinds target with
-  | [] -> Prog.empty
+  | [] -> ()
   | kinds -> (
     let kind = Rng.pick rng kinds in
     match (Target.producers_of target kind, Target.consumers_of target kind) with
-    | [], _ | _, [] -> Prog.empty
+    | [], _ | _, [] -> ()
     | producers, consumers ->
       let producer = Rng.pick rng producers in
       let consumer = Rng.pick rng consumers in
-      let p = Builder.append_call rng target Prog.empty producer in
-      Builder.append_call rng target p consumer)
+      Builder.append_call_b rng target b producer;
+      Builder.append_call_b rng target b consumer)
 
+(* The whole generation runs on one builder: the seed pair, its
+   producer chains and every refinement insertion cost amortized
+   slots; a program is materialized once at the end. *)
 let generate rng target ~select () =
-  let p = ref (seed_pair rng target) in
-  (if Prog.length !p = 0 then
+  let b = Prog.Builder.create () in
+  seed_pair_b rng target b;
+  (if Prog.Builder.length b = 0 then
      (* Degenerate target with no usable resource pair: start from a
         single random call. *)
      let calls = Target.syscalls target in
      let c = calls.(Rng.int rng (Array.length calls)) in
-     p := Builder.append_call rng target Prog.empty c);
+     Builder.append_call_b rng target b c);
   (* Refinement: a few rounds of guided insertion. *)
   let rounds = Rng.int_in rng 2 6 in
   for _ = 1 to rounds do
-    if Prog.length !p < Builder.max_prog_len then begin
-      let at = Rng.int rng (Prog.length !p + 1) in
-      let sub = syscall_ids !p ~upto:at in
+    if Prog.Builder.length b < Builder.max_prog_len then begin
+      let at = Rng.int rng (Prog.Builder.length b + 1) in
+      let sub = syscall_ids_b b ~upto:at in
       let id = select ~sub in
       let call = Target.syscall target id in
-      p := Builder.insert_call rng target !p ~at call
+      Builder.insert_call_b rng target b ~at call
     end
   done;
-  Healer_executor.Progcheck.debug_check ~what:"Gen.generate" target !p;
-  !p
+  let p = Prog.Builder.to_prog b in
+  Healer_executor.Progcheck.debug_check ~what:"Gen.generate" target p;
+  p

@@ -22,3 +22,6 @@ val generate :
 val syscall_ids : Healer_executor.Prog.t -> upto:int -> int list
 (** The ids of the first [upto] calls (the sub-sequence S fed to call
     selection). *)
+
+val syscall_ids_b : Healer_executor.Prog.Builder.t -> upto:int -> int list
+(** {!syscall_ids} over a program under construction. *)

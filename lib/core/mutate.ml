@@ -19,21 +19,25 @@ let mutate_args rng target (p : Prog.t) =
     { Prog.calls }
   end
 
-let insert_one rng target ~select p =
-  if Prog.length p >= Builder.max_prog_len then p
-  else begin
-    let at = Rng.int rng (Prog.length p + 1) in
-    let sub = Gen.syscall_ids p ~upto:at in
+let insert_one_b rng target ~select b =
+  if Prog.Builder.length b < Builder.max_prog_len then begin
+    let at = Rng.int rng (Prog.Builder.length b + 1) in
+    let sub = Gen.syscall_ids_b b ~upto:at in
     let id = select ~sub in
-    Builder.insert_call rng target p ~at (Target.syscall target id)
+    Builder.insert_call_b rng target b ~at (Target.syscall target id)
   end
 
 let insert_guided rng target ~select p =
   if Prog.length p >= Builder.max_prog_len then mutate_args rng target p
   else begin
+    (* One builder serves both insertions (and their producer chains):
+       a single copy in, a single program out. *)
     let n = if Rng.chance rng 0.4 then 2 else 1 in
-    let rec go k p = if k = 0 then p else go (k - 1) (insert_one rng target ~select p) in
-    go n p
+    let b = Prog.Builder.of_prog p in
+    for _ = 1 to n do
+      insert_one_b rng target ~select b
+    done;
+    Prog.Builder.to_prog b
   end
 
 let remove_random rng (p : Prog.t) =

@@ -1,0 +1,152 @@
+module K = Healer_kernel
+module Syscall = Healer_syzlang.Syscall
+
+(* A compiled call: the argument skeleton is the fully-resolved
+   [K.Arg.t] tree the interpreter would rebuild per run, allocated
+   once at compile time. Every [Res_ref] in the source lowers to a
+   mutable [K.Arg.Slot] cell recorded in [slots]; [producers.(j)] is
+   the index of the call whose result fills [slots.(j)] (-1 for a
+   reference that can never resolve — it patches to the invalid
+   resource value, exactly how the interpreter degrades a dangling or
+   failed reference). Patching before each execution is two array
+   reads and a field store per reference: zero allocation. *)
+type ccall = {
+  syscall : Syscall.t;
+  prep : K.Kernel.prepared;  (* handler + subsystem, resolved once *)
+  args : K.Arg.t list;  (* skeleton, shared by every run *)
+  slots : K.Arg.slot array;  (* patch points, source traversal order *)
+  producers : int array;  (* producer call index per slot; -1 = none *)
+}
+
+type t = {
+  prog : Prog.t;  (* the source program, kept in lockstep *)
+  calls : ccall array;
+  (* Per-run scratch: the resource value produced by each call
+     (retval on success, -1 otherwise), reset before every run. Owned
+     by this form — derived forms share [ccall]s but never scratch. *)
+  resvals : int64 array;
+}
+
+let invalid = -1L
+
+let prog t = t.prog
+let length t = Array.length t.calls
+
+let call t i =
+  if i < 0 || i >= Array.length t.calls then
+    invalid_arg (Printf.sprintf "Compiled.call: index %d out of range" i);
+  t.calls.(i)
+
+(* Mirrors [Exec.resolve] shape-for-shape; the HEALER_DEBUG_VALIDATE
+   differential oracle enforces that the two stay equivalent. A
+   [Res_ref] under a [Ptr] lowers to [Rec [Slot]] where the
+   interpreter builds [Rec [Int]] — indistinguishable through the
+   [K.Arg] accessors. *)
+let rec lower patches (v : Value.t) : K.Arg.t =
+  match v with
+  | Value.Int x -> K.Arg.Int x
+  | Value.Res_special x -> K.Arg.Int x
+  | Value.Res_ref i ->
+    let s = K.Arg.slot invalid in
+    patches := (s, i) :: !patches;
+    K.Arg.Slot s
+  | Value.Str s -> K.Arg.Str s
+  | Value.Buf b -> K.Arg.Buf b
+  | Value.Group vs -> K.Arg.Rec (List.map (lower patches) vs)
+  | Value.Ptr inner -> (
+    match lower patches inner with
+    | K.Arg.Rec _ as r -> r
+    | K.Arg.Str _ as s -> s
+    | K.Arg.Buf _ as b -> b
+    | K.Arg.Int _ as x -> K.Arg.Rec [ x ]
+    | K.Arg.Slot _ as s -> K.Arg.Rec [ s ]
+    | K.Arg.Nothing -> K.Arg.Nothing)
+  | Value.Null -> K.Arg.Nothing
+  | Value.Vma a -> K.Arg.Int a
+
+let compile_call (c : Prog.call) =
+  let patches = ref [] in
+  let args = List.map (lower patches) c.Prog.args in
+  let ps = List.rev !patches in
+  {
+    syscall = c.Prog.syscall;
+    prep = K.Kernel.prepare c.Prog.syscall;
+    args;
+    slots = Array.of_list (List.map fst ps);
+    producers = Array.of_list (List.map snd ps);
+  }
+
+let of_calls prog calls =
+  if Array.length calls <> Prog.length prog then
+    invalid_arg "Compiled.of_calls: call count mismatch";
+  { prog; calls; resvals = Array.make (Array.length calls) invalid }
+
+let compile (p : Prog.t) =
+  of_calls p (Array.init (Prog.length p) (fun i -> compile_call (Prog.call p i)))
+
+(* ---- run-time patching ---- *)
+
+let reset_resvals t = Array.fill t.resvals 0 (Array.length t.resvals) invalid
+let set_resval t i v = t.resvals.(i) <- v
+
+let patch t i =
+  let c = Array.unsafe_get t.calls i in
+  let slots = c.slots and producers = c.producers in
+  let resvals = t.resvals in
+  let nr = Array.length resvals in
+  for j = 0 to Array.length producers - 1 do
+    let p = Array.unsafe_get producers j in
+    (Array.unsafe_get slots j).K.Arg.sv <-
+      (if p >= 0 && p < nr then Array.unsafe_get resvals p else invalid)
+  done
+
+(* ---- derived forms (share compiled calls where the edit allows) ----
+
+   The derived form's [prog] is exactly what the corresponding
+   [Prog.append]/[remove]/[insert] produces, but calls whose argument
+   skeletons survive the edit are shared instead of recompiled: only
+   the producer-index arrays are rewritten (and only when an index
+   actually moves). Sharing includes the mutable slots — safe because
+   every run patches every slot of a call before executing it, and
+   compiled forms are confined to one domain. A reference the edit
+   degrades to the invalid resource keeps its slot with producer -1,
+   which patches to the same value the interpreter resolves
+   [Res_special (-1)] to. *)
+
+let remap f (c : ccall) =
+  let n = Array.length c.producers in
+  let rec changed j = j < n && (f c.producers.(j) <> c.producers.(j) || changed (j + 1)) in
+  if not (changed 0) then c
+  else { c with producers = Array.map f c.producers }
+
+let append t (c : Prog.call) =
+  let n = Array.length t.calls in
+  let calls = Array.make (n + 1) (compile_call c) in
+  Array.blit t.calls 0 calls 0 n;
+  of_calls (Prog.append t.prog c) calls
+
+let remove t i =
+  let n = Array.length t.calls in
+  if i < 0 || i >= n then invalid_arg "Compiled.remove: index out of range";
+  let fix p = if p = i then -1 else if p > i then p - 1 else p in
+  let calls =
+    Array.init (n - 1) (fun k ->
+        if k < i then t.calls.(k) else remap fix t.calls.(k + 1))
+  in
+  of_calls (Prog.remove t.prog i) calls
+
+let insert t i (c : Prog.call) =
+  let n = Array.length t.calls in
+  if i < 0 || i > n then invalid_arg "Compiled.insert: index out of range";
+  let fix p = if p >= i then p + 1 else p in
+  let calls =
+    Array.init (n + 1) (fun k ->
+        if k < i then t.calls.(k)
+        else if k = i then compile_call c
+        else remap fix t.calls.(k - 1))
+  in
+  of_calls (Prog.insert t.prog i c) calls
+
+let sub t n =
+  if n < 0 || n > Array.length t.calls then invalid_arg "Compiled.sub: bad length";
+  of_calls (Prog.sub t.prog n) (Array.sub t.calls 0 n)

@@ -8,6 +8,8 @@ type stats = {
   mutable flushes : int;
   mutable resumed_calls : int;
   mutable executed_calls : int;
+  mutable compiled_calls : int;
+  mutable reused_ccalls : int;
 }
 
 (* One trie node per cached call prefix; the edge label is the call's
@@ -22,6 +24,22 @@ type node = {
   result : Exec.call_result;
   mutable snap : K.Kernel.t option;
   mutable stamp : int;  (* LRU clock of the last snapshot use *)
+  (* The call's compiled form, shared by every program whose prefix
+     reaches this node (the edge encoding pins the call's bytes, so
+     one compiled form fits all of them). A mutate→execute step then
+     recompiles only the changed suffix. Valid to share because each
+     run patches a call's slots right before executing it and the
+     cache is single-domain. *)
+  mutable ccall : Compiled.ccall option;
+}
+
+type memo_entry = {
+  m_prog : Prog.t;
+  m_pkey : string;  (* whole-program wire encoding, the [full] key *)
+  m_ends : int array;  (* per-call end offsets into [m_pkey] *)
+  (* Crash-free per-call results, once known: a repeat probe then
+     returns without touching the key at all. *)
+  mutable m_calls : Exec.call_result array option;
 }
 
 type t = {
@@ -34,6 +52,14 @@ type t = {
      warm minimize sweeps) then cost one lookup instead of a trie
      walk. Flushed with the trie. *)
   full : (string, Exec.call_result array) Hashtbl.t;
+  (* Per-physical-program memo: probe loops re-run the same [Prog.t]
+     values many times (warm minimize sweeps, corpus re-probes), and
+     for a full hit the serialization pass plus hashing the multi-KB
+     key IS the entire cost. Everything memoized here is
+     content-derived — programs are immutable, results deterministic —
+     so entries need no invalidation and survive flushes. MRU list,
+     newest first. *)
+  mutable memo : memo_entry list;
   buf : Buffer.t;  (* scratch for key encoding *)
   st : stats;
   mutable snaps : node list;  (* nodes currently holding a snapshot *)
@@ -57,6 +83,7 @@ let create ?(capacity = 192) ?(node_capacity = 8192) ?san ?features ~version ()
     template = K.Kernel.boot ?san ?features ~version ();
     root = Hashtbl.create 64;
     full = Hashtbl.create 256;
+    memo = [];
     buf = Buffer.create 256;
     st =
       {
@@ -67,6 +94,8 @@ let create ?(capacity = 192) ?(node_capacity = 8192) ?san ?features ~version ()
         flushes = 0;
         resumed_calls = 0;
         executed_calls = 0;
+        compiled_calls = 0;
+        reused_ccalls = 0;
       };
     snaps = [];
     nodes = 0;
@@ -82,6 +111,32 @@ let hit_rate t =
   if total = 0 then 0.0 else float_of_int t.st.hits /. float_of_int total
 
 let has_snap node = match node.snap with Some _ -> true | None -> false
+
+let memo_size = 128
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+(* One serialization pass yields both the whole-program key and — by
+   slicing at the recorded call boundaries — the per-call trie edge
+   labels. Memoized per physical program (see [memo]). *)
+let encode t p n =
+  match List.find_opt (fun e -> e.m_prog == p) t.memo with
+  | Some e -> e
+  | None ->
+    let ends = Array.make n 0 in
+    Buffer.clear t.buf;
+    for i = 0 to n - 1 do
+      Serializer.put_call t.buf (Prog.call p i);
+      ends.(i) <- Buffer.length t.buf
+    done;
+    let e =
+      { m_prog = p; m_pkey = Buffer.contents t.buf; m_ends = ends;
+        m_calls = None }
+    in
+    t.memo <- take memo_size (e :: t.memo);
+    e
 
 let evict_one t =
   match t.snaps with
@@ -121,22 +176,21 @@ let run t ?cov (p : Prog.t) : Exec.run_result =
   else begin
     t.clock <- t.clock + 1;
     if t.nodes >= t.node_capacity then flush t;
-    (* One serialization pass yields both the whole-program key and —
-       by slicing at the recorded call boundaries — the per-call trie
-       edge labels. *)
-    let ends = Array.make n 0 in
-    Buffer.clear t.buf;
-    for i = 0 to n - 1 do
-      Serializer.put_call t.buf (Prog.call p i);
-      ends.(i) <- Buffer.length t.buf
-    done;
-    let pkey = Buffer.contents t.buf in
-    match Hashtbl.find_opt t.full pkey with
-    | Some calls ->
+    let entry = encode t p n in
+    let pkey = entry.m_pkey and ends = entry.m_ends in
+    let full_hit calls =
       t.st.hits <- t.st.hits + 1;
       t.st.full_hits <- t.st.full_hits + 1;
       t.st.resumed_calls <- t.st.resumed_calls + n;
       { Exec.calls = Array.copy calls; crash = None }
+    in
+    match entry.m_calls with
+    | Some calls -> full_hit calls
+    | None ->
+    match Hashtbl.find_opt t.full pkey with
+    | Some calls ->
+      entry.m_calls <- Some calls;
+      full_hit calls
     | None ->
     let keys =
       Array.init n (fun i ->
@@ -162,7 +216,9 @@ let run t ?cov (p : Prog.t) : Exec.run_result =
       t.st.full_hits <- t.st.full_hits + 1;
       t.st.resumed_calls <- t.st.resumed_calls + n;
       let calls = Array.init n (fun i -> (Option.get path.(i)).result) in
-      Hashtbl.replace t.full pkey (Array.copy calls);
+      let stored = Array.copy calls in
+      Hashtbl.replace t.full pkey stored;
+      entry.m_calls <- Some stored;
       Array.iter
         (function
           | Some nd when has_snap nd -> nd.stamp <- t.clock
@@ -189,7 +245,7 @@ let run t ?cov (p : Prog.t) : Exec.run_result =
       if k > 0 then t.st.hits <- t.st.hits + 1 else t.st.misses <- t.st.misses + 1;
       t.st.resumed_calls <- t.st.resumed_calls + k;
       let prefix = Array.init k (fun i -> (Option.get path.(i)).result) in
-      let on_call idx cr kern =
+      let record ~ccall idx cr kern =
         t.st.executed_calls <- t.st.executed_calls + 1;
         let children =
           if idx = 0 then t.root else (Option.get path.(idx - 1)).children
@@ -197,6 +253,9 @@ let run t ?cov (p : Prog.t) : Exec.run_result =
         match Hashtbl.find_opt children keys.(idx) with
         | Some child ->
           path.(idx) <- Some child;
+          (match child.ccall with
+          | None -> child.ccall <- ccall
+          | Some _ -> ());
           (* Second execution through a known snapshot-less prefix:
              promote it, so the next shared-prefix probe resumes here
              instead of re-running from boot. Depth n is left to the
@@ -205,18 +264,54 @@ let run t ?cov (p : Prog.t) : Exec.run_result =
             put_snap t child (K.Kernel.copy kern)
         | None ->
           let child =
-            { children = Hashtbl.create 4; result = cr; snap = None; stamp = t.clock }
+            {
+              children = Hashtbl.create 4;
+              result = cr;
+              snap = None;
+              stamp = t.clock;
+              ccall;
+            }
           in
           Hashtbl.replace children keys.(idx) child;
           t.nodes <- t.nodes + 1;
           path.(idx) <- Some child
       in
-      let kernel, r = Exec.run_from ~prefix ?cov ~on_call kernel p in
+      let kernel, r =
+        if Exec.compiled_enabled () then begin
+          (* Assemble the compiled program from trie-resident compiled
+             calls where the walk matched (typically the whole shared
+             prefix), compiling only the new suffix. Nodes missing a
+             compiled form are backfilled in place. *)
+          let ccalls =
+            Array.init n (fun i ->
+                match path.(i) with
+                | Some nd -> (
+                  match nd.ccall with
+                  | Some cc ->
+                    t.st.reused_ccalls <- t.st.reused_ccalls + 1;
+                    cc
+                  | None ->
+                    let cc = Compiled.compile_call (Prog.call p i) in
+                    t.st.compiled_calls <- t.st.compiled_calls + 1;
+                    nd.ccall <- Some cc;
+                    cc)
+                | None ->
+                  t.st.compiled_calls <- t.st.compiled_calls + 1;
+                  Compiled.compile_call (Prog.call p i))
+          in
+          let c = Compiled.of_calls p ccalls in
+          let on_call idx cr kern = record ~ccall:(Some ccalls.(idx)) idx cr kern in
+          Exec.run_from_compiled ~prefix ?cov ~on_call kernel c
+        end
+        else Exec.run_from ~prefix ?cov ~on_call:(record ~ccall:None) kernel p
+      in
       (* The finished kernel is ours alone — retain it as the
          full-program snapshot without paying a copy. *)
       (match r.Exec.crash with
       | None ->
-        Hashtbl.replace t.full pkey (Array.copy r.Exec.calls);
+        let stored = Array.copy r.Exec.calls in
+        Hashtbl.replace t.full pkey stored;
+        entry.m_calls <- Some stored;
         (match path.(n - 1) with
         | Some nd -> put_snap t nd kernel
         | None -> ())

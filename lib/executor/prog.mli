@@ -30,10 +30,35 @@ val sub : t -> int -> t
 
 val refs_of_call : call -> int list
 val well_formed : t -> bool
-(** All references point strictly backwards. *)
+(** All references point strictly backwards. Early-exits on the first
+    violation. *)
 
 val uses_result_of : t -> int -> bool
-(** [uses_result_of p i] — does any later call reference call [i]? *)
+(** [uses_result_of p i] — does any later call reference call [i]?
+    Early-exits on the first use. *)
+
+(** Growable program under construction. Generation and mutation
+    insert many calls one at a time; on the immutable {!t} each
+    insertion copies the whole program, while a builder pays one
+    amortized slot per call and converts to {!t} once. *)
+module Builder : sig
+  type prog := t
+  type t
+
+  val create : unit -> t
+  val of_prog : prog -> t
+  val length : t -> int
+  val call : t -> int -> call
+
+  val push : t -> call -> unit
+  (** Append at the end. *)
+
+  val insert : t -> int -> call -> unit
+  (** In-place {!Prog.insert}: shifts later calls up and renumbers
+      their references. *)
+
+  val to_prog : t -> prog
+end
 
 val pp : Format.formatter -> t -> unit
 (** Syzlang-program-like rendering: one call per line, results named

@@ -15,6 +15,21 @@ let rec refs = function
   | Ptr v -> refs v
   | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> []
 
+(* Allocation-free, early-exiting forms of the two questions the hot
+   paths ask of [refs]: does this value mention call [i], and do all
+   its references land strictly below [k]? *)
+let rec mem_ref i = function
+  | Res_ref j -> j = i
+  | Group vs -> List.exists (mem_ref i) vs
+  | Ptr v -> mem_ref i v
+  | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> false
+
+let rec refs_below k = function
+  | Res_ref i -> i >= 0 && i < k
+  | Group vs -> List.for_all (refs_below k) vs
+  | Ptr v -> refs_below k v
+  | Int _ | Res_special _ | Str _ | Buf _ | Null | Vma _ -> true
+
 (* Untouched subtrees keep their physical identity, so rewrites that
    change nothing (e.g. removing a later call) return [v] itself —
    downstream consumers can then memoize per-value work by [==]. *)

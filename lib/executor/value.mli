@@ -18,6 +18,14 @@ type t =
 val refs : t -> int list
 (** All call indices referenced (recursively). *)
 
+val mem_ref : int -> t -> bool
+(** [mem_ref i v] — does [v] contain [Res_ref i]? Early-exiting,
+    allocation-free form of [List.mem i (refs v)]. *)
+
+val refs_below : int -> t -> bool
+(** [refs_below k v] — does every [Res_ref i] in [v] satisfy
+    [0 <= i < k]? The per-call well-formedness predicate. *)
+
 val map_refs : (int -> t option) -> t -> t
 (** [map_refs f v] replaces each [Res_ref i] by [f i] when it returns
     [Some], recursively. Used to fix up references when calls move. *)
