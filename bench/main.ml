@@ -712,6 +712,46 @@ let lockdep_smoke () =
   Fmt.pr "  %-26s %13.1f%%@." "lockdep overhead"
     (if off > 0.0 then (on -. off) /. off *. 100.0 else 0.0)
 
+(* ---- effect-hook overhead smoke (cheap enough for every build) ---- *)
+
+(* The effect-recording hooks charge one State-array increment per
+   instrumented slot access; same acceptance bar and min-of-batches
+   method as the lockdep hooks (<= 5% on exec throughput). *)
+let effects_smoke () =
+  section "Effect hook overhead";
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let cov = K.Coverage.create () in
+  let progs = Seeds.traces target @ Seeds.distilled target in
+  let batches = 12 and rounds = 200 in
+  let batch hooks =
+    K.Effect.set_hooks hooks;
+    Fun.protect
+      ~finally:(fun () -> K.Effect.set_hooks true)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          List.iter (fun p -> ignore (Healer_executor.Exec.run ~cov kernel p)) progs
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        dt /. float_of_int (rounds * List.length progs) *. 1e9)
+  in
+  ignore (batch false);
+  ignore (batch true);
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to batches do
+    off := Float.min !off (batch false);
+    on := Float.min !on (batch true)
+  done;
+  let off = !off and on = !on in
+  micro_results :=
+    !micro_results
+    @ [ ("exec (effect hooks off)", off); ("exec (effect hooks on)", on) ];
+  Fmt.pr "  %-26s %14.0f@." "exec (effect hooks off)" off;
+  Fmt.pr "  %-26s %14.0f@." "exec (effect hooks on)" on;
+  Fmt.pr "  %-26s %13.1f%%@." "effect overhead"
+    (if off > 0.0 then (on -. off) /. off *. 100.0 else 0.0)
+
 (* ---- compiled-engine smoke (cheap enough for every build) ---- *)
 
 (* Compile once, execute many: lowering cost, fresh-run cost, the
@@ -815,7 +855,8 @@ let sections =
     ("fig4", fig4); ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
     ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
-    ("lockdep", lockdep_smoke); ("compiled", compiled_smoke);
+    ("lockdep", lockdep_smoke); ("effects", effects_smoke);
+    ("compiled", compiled_smoke);
   ]
 
 (* ---- machine-readable results (--json) ---- *)

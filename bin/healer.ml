@@ -512,8 +512,147 @@ let run_locks json =
   end;
   if Diagnostic.has_errors ds then exit 1
 
-let run_analyze file prog seed_corpus json list_checks locks min_sev only =
+(* Race mode: the known-race catalog, plus the effect-drift and
+   lockset-race findings over the declared effect + lock models. Exits
+   non-zero on Error severity (drift), so the @analyze gate keeps the
+   corpus effect-clean; the intentional fixture races surface at Info. *)
+let run_races json =
+  or_die @@ fun () ->
+  let input = Analysis.of_kernel () in
+  let ds =
+    Analysis.run
+      ~passes:[ Healer_analysis.Effects.pass; Healer_analysis.Races.pass ]
+      input
+  in
+  let known = K.Effect.registered_races () in
+  if json then begin
+    let b = Buffer.create 1024 in
+    let esc = Diagnostic.json_escape in
+    Buffer.add_string b "{\n  \"known_races\": [";
+    List.iteri
+      (fun i (k : K.Effect.known_race) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s\n    {\"slot\": \"%s\", \"bug\": \"%s\", \"parties\": [%s]}"
+             (if i = 0 then "" else ",")
+             (esc k.K.Effect.kslot) (esc k.K.Effect.bug)
+             (String.concat ", "
+                (List.map (fun p -> "\"" ^ esc p ^ "\"") k.K.Effect.parties))))
+      known;
+    Buffer.add_string b "\n  ],\n  \"diagnostics\": [";
+    List.iteri
+      (fun i d ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    %s" (if i = 0 then "" else ",")
+             (Diagnostic.to_json d)))
+      ds;
+    Buffer.add_string b "\n  ]\n}";
+    Fmt.pr "%s@." (Buffer.contents b)
+  end
+  else begin
+    Fmt.pr "known race catalog (%d):@." (List.length known);
+    List.iter
+      (fun (k : K.Effect.known_race) ->
+        Fmt.pr "  slot %-12s %s  (bug %s)@."
+          (Printf.sprintf "%S:" k.K.Effect.kslot)
+          (String.concat " <-> " k.K.Effect.parties)
+          k.K.Effect.bug)
+      known;
+    if ds = [] then Fmt.pr "race detector: no candidate pairs@."
+    else begin
+      Fmt.pr "findings:@.";
+      List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds
+    end;
+    Fmt.pr "%d errors, %d warnings, %d notes@."
+      (Diagnostic.count Diagnostic.Error ds)
+      (Diagnostic.count Diagnostic.Warning ds)
+      (Diagnostic.count Diagnostic.Info ds)
+  end;
+  if Diagnostic.has_errors ds then exit 1
+
+(* Effect mode: dump the declared effect model (slot vocabulary, spec
+   count), the effect-drift findings, and the per-slot read/write
+   counts the built-in seed corpus exhibits — the observed-access
+   signal mirroring `--locks`' acquisition counters. Under
+   HEALER_DEBUG_VALIDATE the executions also check observed ⊆ declared
+   per call, so the @analyze gate exercises the runtime validator. *)
+let run_effects json =
+  or_die @@ fun () ->
+  let input = Analysis.of_kernel () in
+  let ds = Analysis.run ~passes:[ Healer_analysis.Effects.pass ] input in
+  let model = K.Kernel.effect_model () in
+  let target = K.Kernel.target () in
+  let kernel = K.Kernel.boot ~version:K.Version.V5_11 () in
+  let cov = K.Coverage.create () in
+  let counts =
+    List.fold_left
+      (fun acc p ->
+        let k', _ = Healer_executor.Exec.run ~cov kernel p in
+        List.fold_left
+          (fun acc (slot, r, w) ->
+            let cr, cw = try List.assoc slot acc with Not_found -> (0, 0) in
+            (slot, (cr + r, cw + w)) :: List.remove_assoc slot acc)
+          acc
+          (K.Kernel.effect_counts k'))
+      []
+      (Seeds.traces target @ Seeds.distilled target)
+    |> List.sort compare
+  in
+  if json then begin
+    let b = Buffer.create 1024 in
+    let esc = Diagnostic.json_escape in
+    Buffer.add_string b "{\n  \"slots\": [";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\"%s\"" (if i = 0 then "" else ", ") (esc s)))
+      model.K.Effect.slots;
+    Buffer.add_string b "],\n  \"specs\": ";
+    Buffer.add_string b (string_of_int (List.length model.K.Effect.especs));
+    Buffer.add_string b ",\n  \"seed_slot_counts\": [";
+    List.iteri
+      (fun i (slot, (r, w)) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s\n    {\"slot\": \"%s\", \"reads\": %d, \"writes\": %d}"
+             (if i = 0 then "" else ",")
+             (esc slot) r w))
+      counts;
+    Buffer.add_string b "\n  ],\n  \"diagnostics\": [";
+    List.iteri
+      (fun i d ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    %s" (if i = 0 then "" else ",")
+             (Diagnostic.to_json d)))
+      ds;
+    Buffer.add_string b "\n  ]\n}";
+    Fmt.pr "%s@." (Buffer.contents b)
+  end
+  else begin
+    Fmt.pr "effect slot vocabulary (%d): %s@."
+      (List.length model.K.Effect.slots)
+      (String.concat ", " model.K.Effect.slots);
+    Fmt.pr "declared handler effect specs: %d@."
+      (List.length model.K.Effect.especs);
+    Fmt.pr "seed-corpus slot accesses (reads/writes):@.";
+    if counts = [] then Fmt.pr "  (none; effect hooks disabled?)@."
+    else
+      List.iter
+        (fun (slot, (r, w)) -> Fmt.pr "  %-16s %7d %7d@." slot r w)
+        counts;
+    if ds = [] then Fmt.pr "effects: model clean@."
+    else begin
+      Fmt.pr "effect findings:@.";
+      List.iter (fun d -> Fmt.pr "%a@." Diagnostic.pp d) ds
+    end
+  end;
+  if Diagnostic.has_errors ds then exit 1
+
+let run_analyze file prog seed_corpus json list_checks locks races effects
+    min_sev only =
   if locks then run_locks json
+  else if races then run_races json
+  else if effects then run_effects json
   else if list_checks then
     List.iter
       (fun (id, sev, doc, pass) ->
@@ -584,6 +723,21 @@ let analyze_cmd =
                  guarded state, the lock-order graph, lockdep findings, and \
                  the lock-pair acquisition counts observed while executing \
                  the built-in seed corpus.")
+      $ Arg.(
+          value & flag
+          & info [ "races" ]
+              ~doc:
+                "Run the Eraser-style lockset race detector over the \
+                 declared effect and lock models: the known-race catalog, \
+                 effect-drift findings and candidate race pairs (see the \
+                 $(b,race-*) checks).")
+      $ Arg.(
+          value & flag
+          & info [ "effects" ]
+              ~doc:
+                "Report the declared effect model: the slot vocabulary, \
+                 effect-drift findings, and the per-slot read/write counts \
+                 observed while executing the built-in seed corpus.")
       $ severity_arg $ only_arg)
 
 (* Deprecated: kept as a thin alias over the analyzer's lint pass so

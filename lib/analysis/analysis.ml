@@ -11,7 +11,7 @@ module Subsystem = Healer_kernel.Subsystem
 let passes : Pass.t list =
   [
     Semantics.pass; Reachability.pass; Drift.pass; Relations.pass; Lint.pass;
-    Lockdep.pass;
+    Lockdep.pass; Effects.pass; Races.pass; Rel_infer.pass;
   ]
 
 (* Every (check ID, severity, description, pass name), for docs and
@@ -44,6 +44,7 @@ let of_target ?(name = "target") target : Pass.input =
     file_ops = [];
     resolve = (fun line -> Some { Diagnostic.src = None; line });
     locks = None;
+    effects = None;
     pre = [];
   }
 
@@ -62,6 +63,7 @@ let of_source ?(name = "source") src : Pass.input =
       file_ops = [];
       resolve;
       locks = None;
+      effects = None;
       pre =
         [
           Diagnostic.v
@@ -83,6 +85,7 @@ let of_source ?(name = "source") src : Pass.input =
         file_ops = [];
         resolve;
         locks = None;
+        effects = None;
         pre = [];
       }
     in
@@ -130,5 +133,6 @@ let of_kernel () : Pass.input =
     file_ops;
     resolve;
     locks = Some (Kernel.lock_model ());
+    effects = Some (Kernel.effect_model ());
     pre = [];
   }

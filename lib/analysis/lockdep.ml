@@ -7,6 +7,7 @@
    subsystem/handler or state slot instead. *)
 
 module Lock = Healer_kernel.Lock
+module Effect = Healer_kernel.Effect
 open Pass
 
 let checks =
@@ -31,8 +32,9 @@ let checks =
       "the declared lock-order graph has a cycle (ABBA deadlock candidate)" );
     ( "lock-guard-coverage",
       Diagnostic.Warning,
-      "state slot mutated by several handlers under different or no lock \
-       classes (data-race candidate)" );
+      "state slot mutated under different or no lock classes, or read (per \
+       the effect spec) without holding a guarding class (data-race \
+       candidate)" );
     ( "lock-spec-mismatch",
       Diagnostic.Error,
       "runtime acquisition trace diverges from the handler's declared spec" );
@@ -50,10 +52,40 @@ let to_diagnostic (f : Lock.finding) =
   Diagnostic.v ~check:f.Lock.check ~severity:(severity_of f.Lock.check)
     ~subject:f.Lock.subject f.Lock.msg
 
+(* Read-side guard coverage gets its read sets from the effect model:
+   each handler's declared (non-wildcard) read-only slots, minus the
+   slots a registered known race already accounts for — the fixture
+   races are the race pass's domain ([race-known-bug]), and reporting
+   them here too would dirty the corpus gate. *)
+let effect_reads effects =
+  match effects with
+  | None -> []
+  | Some em ->
+    let known = Effect.registered_races () in
+    List.filter_map
+      (fun (sub, handler, (sp : Effect.spec)) ->
+        let reads =
+          List.filter
+            (fun s ->
+              (not (String.equal s Effect.wildcard))
+              && (not (List.mem s sp.Effect.writes))
+              && not
+                   (List.exists
+                      (fun (k : Effect.known_race) ->
+                        String.equal k.Effect.kslot s
+                        && List.mem handler k.Effect.parties)
+                      known))
+            sp.Effect.reads
+        in
+        if reads = [] then None else Some (sub, handler, reads))
+      em.Effect.especs
+
 let run input =
   match input.locks with
   | None -> []
-  | Some model -> List.map to_diagnostic (Lock.check_model model)
+  | Some model ->
+    List.map to_diagnostic
+      (Lock.check_model ~reads:(effect_reads input.effects) model)
 
 let pass =
   {

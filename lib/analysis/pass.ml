@@ -28,6 +28,11 @@ type input = {
      when analyzing a standalone description file, which disables the
      lockdep pass. *)
   locks : Healer_kernel.Lock.model option;
+  (* The kernel's effect model (slot vocabulary + declared handler
+     effect specs); None when analyzing a standalone description file,
+     which disables the effect-drift, race and relation-inference
+     passes. *)
+  effects : Healer_kernel.Effect.model option;
   (* Diagnostics produced while loading (parse/compile failures). *)
   pre : Diagnostic.t list;
 }

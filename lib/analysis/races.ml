@@ -1,0 +1,64 @@
+(* Pass 8: Eraser-style lockset race detection over declared effects.
+
+   For every (non-wildcard) state slot, intersect the lock classes
+   held at each handler's declared accesses: a write/write or
+   write/read pair whose locksets are disjoint is a candidate race.
+   The detection core is [Healer_kernel.Effect.races]; candidates are
+   classified against PR 6's declared lock-order graph (a guarding
+   class preceding both locksets masks the race by convention) and the
+   known-race catalog (the deliberately-unguarded fixture races behind
+   the version-gated data-race bugs stay visible, at Info, without
+   dirtying the corpus gate).
+
+   The kernel is single-threaded, so — like lockdep — these are
+   declared-discipline findings on executions that never actually
+   raced; that is exactly Eraser's point. *)
+
+module Effect = Healer_kernel.Effect
+open Pass
+
+let checks =
+  [
+    ( "race-unguarded-slot",
+      Diagnostic.Warning,
+      "write/write or write/read handler pair on a slot where one side \
+       holds no lock at all" );
+    ( "race-disjoint-locksets",
+      Diagnostic.Warning,
+      "write/write or write/read handler pair on a slot under disjoint \
+       locksets" );
+    ( "race-order-masked",
+      Diagnostic.Info,
+      "disjoint-lockset pair masked by a guarding class that precedes both \
+       sides in the declared lock order" );
+    ( "race-known-bug",
+      Diagnostic.Info,
+      "candidate race pair registered as an intentional version-gated \
+       data-race bug" );
+  ]
+
+let severity_of check =
+  match List.find_opt (fun (id, _, _) -> String.equal id check) checks with
+  | Some (_, sev, _) -> sev
+  | None -> Diagnostic.Warning
+
+let to_diagnostic (f : Effect.finding) =
+  Diagnostic.v ~check:f.Effect.check ~severity:(severity_of f.Effect.check)
+    ~subject:f.Effect.subject f.Effect.msg
+
+let run input =
+  match (input.effects, input.locks) with
+  | Some model, Some lock ->
+    List.map to_diagnostic
+      (Effect.races ~lock ~known:(Effect.registered_races ()) model)
+  | _ -> []
+
+let pass =
+  {
+    pass_name = "races";
+    doc =
+      "Eraser-style lockset race candidates over the declared effect and \
+       lock models";
+    checks;
+    run;
+  }

@@ -1,0 +1,157 @@
+(* Pass 9: relation inference from effect summaries.
+
+   The write(slot)→read(slot) handler-pair graph over the declared
+   effect model predicts influence edges: a handler mutating shared
+   state that another handler reads is exactly HEALER's relation,
+   justified by state rather than by resource flow. Diffing the
+   prediction against [Static_learning.initial_table] yields:
+
+   - [rel-infer-new-edge]: predicted edges the static resource rule
+     misses — candidate relations dynamic learning should confirm,
+     reported per writer in a parseable "reader via slot" form (the
+     generator could seed these some day);
+   - [rel-infer-unjustified]: static edges between two spec-carrying
+     handlers that share no state slot — the influence flows through
+     the returned resource value alone, so the effect model predicts
+     no path sensitivity beyond validity;
+   - [rel-infer-summary]: the counts, with the predicted graph held to
+     the same sparsity expectation ([Relations.dense_threshold]) as
+     the static table.
+
+   Everything here is Info: the diff is a signal for the learning
+   loop, not a defect in the corpus. *)
+
+module Effect = Healer_kernel.Effect
+module Target = Healer_syzlang.Target
+module Syscall = Healer_syzlang.Syscall
+module Static_learning = Healer_core.Static_learning
+module Relation_table = Healer_core.Relation_table
+open Pass
+
+let checks =
+  [
+    ( "rel-infer-new-edge",
+      Diagnostic.Info,
+      "effect summaries predict influence edges missing from the static \
+       relation seed" );
+    ( "rel-infer-unjustified",
+      Diagnostic.Info,
+      "static relation edge between spec-carrying handlers with no shared \
+       state slot (resource-flow only)" );
+    ( "rel-infer-summary",
+      Diagnostic.Info,
+      "effect-predicted edges vs the static relation table" );
+  ]
+
+(* Non-wildcard slots a spec touches (reads or writes). *)
+let slots_of (sp : Effect.spec) =
+  List.filter
+    (fun s -> not (String.equal s Effect.wildcard))
+    (List.sort_uniq compare (sp.Effect.reads @ sp.Effect.writes))
+
+let run input =
+  match (input.target, input.effects) with
+  | None, _ | _, None -> []
+  | Some t, Some em ->
+    let table = Static_learning.initial_table t in
+    let idx name =
+      Option.map (fun (c : Syscall.t) -> c.Syscall.id) (Target.find t name)
+    in
+    let predicted = Effect.predicted_edges em in
+    let corroborated = ref 0 and off_target = ref 0 in
+    (* writer -> (reader, slot) list, insertion order per writer *)
+    let news : (string, (string * string) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let writers_in_order = ref [] in
+    List.iter
+      (fun (w, r, s) ->
+        match (idx w, idx r) with
+        | Some i, Some j ->
+          if Relation_table.get table i j then incr corroborated
+          else begin
+            match Hashtbl.find_opt news w with
+            | Some l -> l := (r, s) :: !l
+            | None ->
+              Hashtbl.add news w (ref [ (r, s) ]);
+              writers_in_order := w :: !writers_in_order
+          end
+        | _ ->
+          (* A spec on a handler outside the target (drift's domain). *)
+          incr off_target)
+      predicted;
+    let new_count =
+      Hashtbl.fold (fun _ l acc -> acc + List.length !l) news 0
+    in
+    let new_edges =
+      List.rev_map
+        (fun w ->
+          let es = List.rev !(Hashtbl.find news w) in
+          Diagnostic.vf ~check:"rel-infer-new-edge" ~severity:Diagnostic.Info
+            ~subject:("handler " ^ w)
+            "effect summaries predict %d relation(s) the static seed misses: \
+             %s"
+            (List.length es)
+            (String.concat ", "
+               (List.map (fun (r, s) -> Printf.sprintf "%s via %S" r s) es)))
+        !writers_in_order
+    in
+    (* Static edges with no effect-level justification: both endpoints
+       declare specs, yet no slot is shared. *)
+    let spec_of name =
+      List.find_map
+        (fun (_, h, sp) -> if String.equal h name then Some sp else None)
+        em.Effect.especs
+    in
+    let unjustified =
+      List.filter_map
+        (fun (i, j) ->
+          let a = Target.syscall t i and b = Target.syscall t j in
+          match (spec_of a.Syscall.name, spec_of b.Syscall.name) with
+          | Some sa, Some sb ->
+            let la = slots_of sa and lb = slots_of sb in
+            if la <> [] && lb <> [] && not (List.exists (fun s -> List.mem s lb) la)
+            then
+              Some
+                (Diagnostic.vf ~check:"rel-infer-unjustified"
+                   ~severity:Diagnostic.Info
+                   ~subject:
+                     (Printf.sprintf "relation %s -> %s" a.Syscall.name
+                        b.Syscall.name)
+                   "static edge shares no state slot (resource-flow only): \
+                    the effect model predicts no state-mediated influence")
+            else None
+          | _ -> None)
+        (Relation_table.edges table)
+    in
+    let n = Target.n_syscalls t in
+    let pairs = n * (n - 1) in
+    let density =
+      if pairs = 0 then 0.0
+      else float_of_int (List.length predicted) /. float_of_int pairs
+    in
+    let summary =
+      Diagnostic.vf ~check:"rel-infer-summary" ~severity:Diagnostic.Info
+        ~subject:"effect-predicted relations"
+        "%d effect-predicted edges (%.2f%% of ordered pairs%s): %d \
+         corroborated by the static seed, %d candidate new, %d off-target; \
+         %d static edges resource-flow-only"
+        (List.length predicted) (100.0 *. density)
+        (if density > Relations.dense_threshold && n >= 8 then
+           Printf.sprintf ", above the %.0f%% sparsity expectation"
+             (100.0 *. Relations.dense_threshold)
+         else "")
+        !corroborated new_count !off_target
+        (List.length unjustified)
+    in
+    new_edges @ unjustified @ [ summary ]
+
+let pass =
+  {
+    pass_name = "rel-infer";
+    doc =
+      "influence edges predicted by shared-state effects, diffed against \
+       the static relation seed";
+    checks;
+    run;
+  }

@@ -15,7 +15,11 @@ open Pass
 
 (* Paper reference sparsity: 5878 edges / 3579 calls. Anything an
    order of magnitude denser than that per-pair rate scaled to small
-   targets is suspicious; 15% of all ordered pairs is far beyond it. *)
+   targets is suspicious; 15% of all ordered pairs is far beyond it.
+   Shared with the effect-based inference pass ([Rel_infer]), which
+   holds its predicted write→read graph to the same expectation — the
+   paper's argument is about relation graphs in general, not just the
+   resource-seeded one. *)
 let dense_threshold = 0.15
 
 let checks =
@@ -65,9 +69,14 @@ let run input =
       Diagnostic.vf ~check:"rel-density" ~severity:Diagnostic.Info
         ~subject:"relation table"
         "%d static relations over %d calls (%.2f%% of ordered pairs, %.1f per \
-         call); paper: ~5878 relations / 3579 calls"
+         call)%s; paper: ~5878 relations / 3579 calls"
         count n (100.0 *. density)
         (if n = 0 then 0.0 else float_of_int count /. float_of_int n)
+        (match input.effects with
+        | None -> ""
+        | Some em ->
+          Printf.sprintf "; effect summaries predict %d write->read edges"
+            (List.length (Healer_kernel.Effect.predicted_edges em)))
     in
     (* Tiny targets are naturally dense (a handful of calls around one
        resource), so the sparsity expectation only binds at scale. *)

@@ -77,12 +77,14 @@ let env_enabled () =
 let debug = ref (env_enabled ())
 
 (* One switch drives the whole debug-validation contract: flipping it
-   also arms (or disarms) the runtime lockdep validator down in
-   [Kernel.exec_call], so `Progcheck.set_debug true` — what the test
-   suite and the dune @analyze gates do — covers both. *)
+   also arms (or disarms) the runtime lockdep and effect-trace
+   validators down in [Kernel.exec_call], so `Progcheck.set_debug
+   true` — what the test suite and the dune @analyze gates do — covers
+   all three. *)
 let set_debug b =
   debug := b;
-  Healer_kernel.Lock.set_validate b
+  Healer_kernel.Lock.set_validate b;
+  Healer_kernel.Effect.set_validate b
 
 let debug_enabled () = !debug
 

@@ -270,8 +270,24 @@ let netlink_catalog =
       ~since:V5_11 ~known:false ~len:5;
   ]
 
+(* Data races behind the deliberately-unguarded effect slots: each has
+   a registered [Effect] known-race entry, so the static race detector
+   must flag exactly these handler pairs (the --races true-positive
+   check). Detected by KCSAN, version-gated like the rest. *)
+let race_catalog =
+  [
+    v "packet_seq_show" ~sub:"Network"
+      ~ops:"packet_seq_show / packet_sendmsg"
+      ~title:"data race in packet_seq_show" ~risk:Data_race ~since:V5_6
+      ~known:false ~len:3;
+    v "legitimize_mnt" ~sub:"VFS" ~ops:"legitimize_mnt / do_umount"
+      ~title:"data race in legitimize_mnt" ~risk:Data_race ~since:V5_4
+      ~known:false ~len:2;
+  ]
+
 let catalog =
   table4_catalog @ known_shared_catalog @ table5_catalog @ netlink_catalog
+  @ race_catalog
 
 let by_key =
   let tbl = Hashtbl.create 128 in

@@ -138,9 +138,14 @@ let sub =
     ~handlers:
       [
         ("inotify_init", h_init);
-        ("inotify_add_watch", h_add_watch);
+        (* Registering a watch snapshots the target inode, i.e. reads
+           the vfs "fs" slot — that read happens under the inode lock,
+           like fsnotify does. *)
+        ("inotify_add_watch", Subsystem.locked [ Vfs.vfs_files ] h_add_watch);
         ("inotify_rm_watch", h_rm_watch);
       ]
+    ~locks:[ ("inotify_add_watch", Lock.scoped [ "vfs_files" ]) ]
+    ~effects:[ ("inotify_add_watch", Effect.spec ~reads:[ "fs" ] ()) ]
     ~file_ops:
       [
         {

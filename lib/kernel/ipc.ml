@@ -28,11 +28,18 @@ let ipc_ids =
   Lock.register ~rank:50 ~guards:[ "ipc"; "fd:eventfd"; "fd:timerfd" ] "ipc_ids"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slots: the SysV id tables plus the eventfd/timerfd payloads.
+   eventfd/timerfd_create allocations are exempt (fresh payload). *)
+let s_ipc = Effect.slot "ipc"
+let s_fd_eventfd = Effect.slot "fd:eventfd"
+let s_fd_timerfd = Effect.slot "fd:timerfd"
+
 let init st =
   State.set_global st "ipc"
     (Ipc { shms = Hashtbl.create 8; sems = Hashtbl.create 8; msgs = Hashtbl.create 8 })
 
 let ipc_of st =
+  State.record_read st s_ipc;
   match State.global st "ipc" with
   | Some (Ipc t) -> t
   | Some _ | None -> failwith "ipc: state not initialized"
@@ -71,6 +78,7 @@ let h_timerfd_settime ctx args =
   c ctx 8;
   match State.lookup_fd ctx.Ctx.st (Arg.as_fd (Arg.nth args 0)) with
   | Some { kind = Timerfd tm; _ } ->
+    State.record_read ctx.Ctx.st s_fd_timerfd;
     let interval = Arg.as_int (Arg.field (Arg.nth args 2) 0) in
     if Int64.compare interval 0L < 0 then begin
       c ctx 9;
@@ -78,6 +86,7 @@ let h_timerfd_settime ctx args =
     end
     else begin
       c ctx 10;
+      State.record_write ctx.Ctx.st s_fd_timerfd;
       tm.armed <- Int64.compare interval 0L > 0;
       tm.interval <- interval;
       if tm.armed then c ctx 11 else c ctx 12;
@@ -101,6 +110,7 @@ let event_write ctx (entry : State.fd_entry) args =
     end
     else begin
       c ctx 18;
+      State.record_write ctx.Ctx.st s_fd_eventfd;
       ev.counter <- Int64.add ev.counter 1L;
       c ctx (32 + Int64.to_int (Int64.min ev.counter 15L));
       Ctx.ok 8L
@@ -112,6 +122,7 @@ let event_read ctx (entry : State.fd_entry) args =
   | Eventfd ev ->
     let count = Arg.as_int (Arg.nth args 2) in
     c ctx 20;
+    State.record_read ctx.Ctx.st s_fd_eventfd;
     if Int64.compare count 8L < 0 then begin
       c ctx 21;
       Ctx.err Errno.EINVAL
@@ -122,6 +133,7 @@ let event_read ctx (entry : State.fd_entry) args =
     end
     else begin
       c ctx 23;
+      State.record_write ctx.Ctx.st s_fd_eventfd;
       ev.counter <- 0L;
       Ctx.ok 8L
     end
@@ -131,6 +143,7 @@ let timer_read ctx (entry : State.fd_entry) _args =
   match entry.kind with
   | Timerfd tm ->
     c ctx 25;
+    State.record_read ctx.Ctx.st s_fd_timerfd;
     if not tm.armed then begin
       c ctx 26;
       Ctx.err Errno.EAGAIN
@@ -159,6 +172,7 @@ let h_shmget ctx args =
     c ctx 33;
     if Int64.compare size 0x100000L > 0 then c ctx 34;
     let id = fresh_id ctx.Ctx.st in
+    State.record_write ctx.Ctx.st s_ipc;
     Hashtbl.replace ipc.shms id
       { shm_size = size; attached = 0; rmid_pending = false; shm_destroyed = false };
     Ctx.ok id
@@ -184,6 +198,7 @@ let h_shmat ctx args =
       end
       else begin
         c ctx 40;
+        State.record_write ctx.Ctx.st s_ipc;
         s.attached <- s.attached + 1;
         c ctx (48 + min 7 s.attached);
         Ctx.ok 0x7f0001000000L
@@ -198,6 +213,7 @@ let h_shmdt ctx args =
       end
       else begin
         c ctx 58;
+        State.record_write ctx.Ctx.st s_ipc;
         s.attached <- s.attached - 1;
         (* Deferred destruction completes on the last detach. *)
         if s.rmid_pending && s.attached = 0 then begin
@@ -210,6 +226,7 @@ let h_shmdt ctx args =
 let h_shm_rmid ctx args =
   c ctx 61;
   with_shm ctx args (fun s ->
+      State.record_write ctx.Ctx.st s_ipc;
       if s.attached > 0 then begin
         c ctx 62;
         s.rmid_pending <- true;
@@ -234,6 +251,7 @@ let h_semget ctx args =
   else begin
     c ctx 68;
     let id = fresh_id ctx.Ctx.st in
+    State.record_write ctx.Ctx.st s_ipc;
     Hashtbl.replace ipc.sems id
       { values = Array.make nsems 0; sem_destroyed = false };
     Ctx.ok id
@@ -267,6 +285,7 @@ let h_semop ctx args =
         end
         else begin
           c ctx 75;
+          State.record_write ctx.Ctx.st s_ipc;
           s.values.(idx) <- v;
           c ctx (80 + min 7 v);
           Ctx.ok0
@@ -277,6 +296,7 @@ let h_sem_rmid ctx args =
   c ctx 88;
   with_sem ctx args (fun s ->
       c ctx 89;
+      State.record_write ctx.Ctx.st s_ipc;
       s.sem_destroyed <- true;
       Ctx.ok0)
 
@@ -286,6 +306,7 @@ let h_msgget ctx _args =
   let ipc = ipc_of ctx.Ctx.st in
   c ctx 92;
   let id = fresh_id ctx.Ctx.st in
+  State.record_write ctx.Ctx.st s_ipc;
   Hashtbl.replace ipc.msgs id { depth = 0; bytes = 0; q_destroyed = false };
   Ctx.ok id
 
@@ -312,6 +333,7 @@ let h_msgsnd ctx args =
       end
       else begin
         c ctx 99;
+        State.record_write ctx.Ctx.st s_ipc;
         q.depth <- q.depth + 1;
         q.bytes <- q.bytes + n;
         c ctx (104 + min 7 q.depth);
@@ -327,6 +349,7 @@ let h_msgrcv ctx args =
       end
       else begin
         c ctx 114;
+        State.record_write ctx.Ctx.st s_ipc;
         q.depth <- q.depth - 1;
         Ctx.ok 1L
       end)
@@ -336,6 +359,7 @@ let h_msg_rmid ctx args =
   with_msgq ctx args (fun q ->
       c ctx 117;
       if q.depth > 0 then c ctx 118;
+      State.record_write ctx.Ctx.st s_ipc;
       q.q_destroyed <- true;
       Ctx.ok0)
 
@@ -427,6 +451,22 @@ let sub =
         ("msgrcv", w);
         ("msgctl$IPC_RMID", w);
       ]
+    ~effects:
+      (let e = Effect.spec ~writes:[ "ipc" ] () in
+       [
+         ("timerfd_settime", Effect.spec ~writes:[ "fd:timerfd" ] ());
+         ("shmget", e);
+         ("shmat", e);
+         ("shmdt", e);
+         ("shmctl$IPC_RMID", e);
+         ("semget", e);
+         ("semop", e);
+         ("semctl$IPC_RMID", e);
+         ("msgget", e);
+         ("msgsnd", e);
+         ("msgrcv", e);
+         ("msgctl$IPC_RMID", e);
+       ])
     ~file_ops:
       [
         { Subsystem.op_name = "write"; applies = applies_event; run = event_write };

@@ -193,6 +193,42 @@ let lock_model_memo =
 
 let lock_model () = Lazy.force lock_model_memo
 
+(* The assembled effect model: the interned slot vocabulary (subsystem
+   modules intern theirs at module-init time, which [subsystems ()]
+   forces) unioned with every lock class's guarded slots, plus every
+   subsystem's declared effect specs. *)
+let effect_model_memo =
+  lazy
+    (let subs = subsystems () in
+     {
+       Effect.slots =
+         List.sort_uniq compare
+           (Effect.registered_slots ()
+           @ List.concat_map
+               (fun (c : Lock.cls) -> c.Lock.guards)
+               (Lock.registered ()));
+       especs =
+         List.concat_map
+           (fun (s : Subsystem.t) ->
+             List.map
+               (fun (h, sp) -> (s.Subsystem.name, h, sp))
+               s.Subsystem.effects)
+           subs;
+     })
+
+let effect_model () = Lazy.force effect_model_memo
+
+(* Validate the access trace the current call just recorded against
+   the handler's declared effect spec (HEALER_DEBUG_VALIDATE, same
+   contract as the lock-trace check below). *)
+let check_effect_trace st ~sub ~handler =
+  let events =
+    List.map (fun (w, s) -> (w, Effect.slot_name s)) (State.effect_trace st)
+  in
+  match Effect.check_trace (effect_model ()) ~subsystem:sub ~handler events with
+  | [] -> ()
+  | f :: _ -> raise (Effect.Violation f)
+
 let split_pair key =
   (* "lock:pair:A->B" -> (A, B) *)
   let body =
@@ -228,6 +264,12 @@ let lock_acquire_counts k =
       else None)
     (State.lock_slot_counts k.st)
   |> List.sort compare
+
+let effect_counts k =
+  List.map
+    (fun (slot, r, w) -> (Effect.slot_name slot, r, w))
+    (State.effect_slot_counts k.st)
+  |> List.sort compare
 let version k = State.version k.st
 let state k = k.st
 let sanitizers k = k.san
@@ -245,6 +287,7 @@ let force_init () =
   ignore (Lazy.force subsystem_index);
   ignore (Lazy.force line_index);
   ignore (lock_model ());
+  ignore (effect_model ());
   Lock.force_pairs ();
   Crash.preload ();
   Coverage.force_regions ()
@@ -254,6 +297,7 @@ let blk = Coverage.region ~name:"core" ~size:64
 let exec_call k ?(fault = false) ~cov (call : Syscall.t) args =
   let ctx = Ctx.make ~features:k.features ~st:k.st ~san:k.san cov in
   ctx.Ctx.fault_pending <- fault;
+  State.reset_effect_trace k.st;
   ignore (State.tick k.st);
   Coverage.hit cov (blk + 0);
   match Hashtbl.find_opt (Lazy.force handler_table) call.Syscall.name with
@@ -280,6 +324,13 @@ let exec_call k ?(fault = false) ~cov (call : Syscall.t) args =
       | [] -> ()
       | f :: _ -> raise (Lock.Violation f)
     end;
+    (* Same contract for the observed effect trace: every state slot
+       this call read or wrote must appear in the handler's declared
+       effect spec. *)
+    if Effect.validate_enabled () then
+      check_effect_trace k.st
+        ~sub:(subsystem_of call.Syscall.name)
+        ~handler:call.Syscall.name;
     if Ctx.take_fault ctx then begin
       Coverage.hit cov (blk + 2);
       Ctx.err Errno.ENOMEM
@@ -313,6 +364,7 @@ let exec_prepared k ~ctx ?(fault = false) prep args =
   Ctx.recycle ctx;
   ctx.Ctx.fault_pending <- fault;
   let cov = ctx.Ctx.cov in
+  State.reset_effect_trace k.st;
   ignore (State.tick k.st);
   Coverage.hit cov (blk + 0);
   match prep.p_handler with
@@ -329,6 +381,8 @@ let exec_prepared k ~ctx ?(fault = false) prep args =
       | [] -> ()
       | f :: _ -> raise (Lock.Violation f)
     end;
+    if Effect.validate_enabled () then
+      check_effect_trace k.st ~sub:prep.p_sub ~handler:prep.p_name;
     if Ctx.take_fault ctx then begin
       Coverage.hit cov (blk + 2);
       Ctx.err Errno.ENOMEM

@@ -80,6 +80,20 @@ val lock_pair_counts : t -> ((string * string) * int) list
 val lock_acquire_counts : t -> (string * int) list
 (** Total acquisitions per lock class, sorted by class name. *)
 
+(** {2 Effect model} *)
+
+val effect_model : unit -> Effect.model
+(** The assembled effect model: the interned slot vocabulary unioned
+    with every lock class's guarded slots, plus every subsystem's
+    declared handler effect specs. Memoized; read by the effect-drift
+    / race / relation-inference passes and the runtime validator. *)
+
+val effect_counts : t -> (string * int * int) list
+(** Per-slot [(slot, reads, writes)] access counts accumulated by this
+    kernel's executions, sorted by slot name; empty when
+    {!Effect.hooks_enabled} was off. The observed-access signal behind
+    [healer analyze --effects]. *)
+
 val exec_call :
   t ->
   ?fault:bool ->
@@ -92,7 +106,10 @@ val exec_call :
     failure into this call. May raise {!Crash.Crash}. Unknown syscall
     names return [ENOSYS]. Under {!Lock.validate_enabled} the call's
     recorded lock-acquisition trace is checked against its declared
-    spec and the order graph; a divergence raises {!Lock.Violation}. *)
+    spec and the order graph; a divergence raises {!Lock.Violation}.
+    Likewise under {!Effect.validate_enabled} the observed state-slot
+    access trace must be covered by the handler's declared
+    {!Effect.spec}; drift raises {!Effect.Violation}. *)
 
 (** {2 Prepared (compiled) execution}
 

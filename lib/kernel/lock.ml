@@ -274,7 +274,7 @@ let reachable edges ~src ~dst =
 
 let subject_of sub handler = Printf.sprintf "%s/%s" sub handler
 
-let check_model model =
+let check_model ?(reads = []) model =
   let out = ref [] in
   let add check subject msg = out := { check; subject; msg } :: !out in
   (* Per-spec structural checks. *)
@@ -353,6 +353,39 @@ let check_model model =
         end
       end)
     (List.rev !slot_order);
+  (* Read-side guard coverage: reading a slot some class guards
+     without holding any guarding class. (Unguarded slots are the race
+     detector's domain, not a guard-coverage finding.) *)
+  List.iter
+    (fun (sub, handler, slots_read) ->
+      let acquired =
+        match
+          List.find_opt (fun (_, h, _) -> String.equal h handler) model.specs
+        with
+        | Some (_, _, spec) -> List.sort_uniq compare (acquires spec)
+        | None -> []
+      in
+      List.iter
+        (fun slot ->
+          let guardians =
+            List.filter (fun c -> List.mem slot c.guards) model.classes
+          in
+          if
+            guardians <> []
+            && not (List.exists (fun c -> List.mem c.cname acquired) guardians)
+          then
+            add "lock-guard-coverage"
+              (Printf.sprintf "state slot %S" slot)
+              (Printf.sprintf
+                 "read by %s without holding %s guarding it (data-race \
+                  candidate)"
+                 (subject_of sub handler)
+                 (String.concat " or "
+                    (List.map
+                       (fun c -> Printf.sprintf "%S" c.cname)
+                       guardians))))
+        slots_read)
+    reads;
   (* Classes nothing acquires are dead weight (or a missing spec). *)
   List.iter
     (fun c ->

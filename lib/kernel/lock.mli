@@ -71,11 +71,16 @@ exception Violation of finding
 (** Raised by the runtime validator in {!Kernel.exec_call} (never by
     the pure checkers below). *)
 
-val check_model : model -> finding list
+val check_model :
+  ?reads:(string * string * string list) list -> model -> finding list
 (** Static lockdep over the declared model: unknown classes, double
     acquire, release of unheld, held-at-exit, rank inversions,
     declared-order cycles (ABBA), guard coverage and unused classes.
-    Sorted and deduplicated; empty on a clean model. *)
+    [reads] extends guard coverage to the read side:
+    [(subsystem, handler, slots read)] triples — reading a slot some
+    class guards without holding any guarding class also warns under
+    [lock-guard-coverage]. Sorted and deduplicated; empty on a clean
+    model. *)
 
 val order_edges : model -> (string * string) list
 (** The declared lock-order graph: deduped [(outer, inner)] nesting
@@ -90,6 +95,10 @@ val check_trace :
     graph. *)
 
 (** {2 Runtime switches} *)
+
+val env_on : ?default:bool -> string -> bool
+(** Parse a boolean environment toggle (["" | 0 | false | no | off]
+    are false); shared with the other hook-bearing modules. *)
 
 val hooks_enabled : unit -> bool
 (** Lock-pair accounting hooks; default on, [HEALER_LOCK_HOOKS=0]

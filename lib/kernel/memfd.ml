@@ -12,6 +12,10 @@ let blk = Coverage.region ~name:"memfd" ~size:128
 let memfd_seals = Lock.register ~rank:70 ~guards:[ "fd:memfd" ] "memfd_seals"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slot for the per-memfd payload; memfd_create's allocation is
+   exempt (fresh payload). *)
+let s_fd_memfd = Effect.slot "fd:memfd"
+
 let seal_seal = 0x1L
 let seal_shrink = 0x2L
 let seal_grow = 0x4L
@@ -54,7 +58,9 @@ let h_memfd_create ctx args =
 let with_memfd ctx args k =
   let fd = Arg.as_fd (Arg.nth args 0) in
   match State.lookup_fd ctx.Ctx.st fd with
-  | Some { kind = Memfd m; _ } -> k m
+  | Some { kind = Memfd m; _ } ->
+    State.record_read ctx.Ctx.st s_fd_memfd;
+    k m
   | Some _ ->
     c ctx 7;
     Ctx.err Errno.EINVAL
@@ -72,6 +78,7 @@ let h_add_seals ctx args =
       end
       else begin
         c ctx 12;
+        State.record_write ctx.Ctx.st s_fd_memfd;
         m.seals <- Int64.logor m.seals seals;
         if Int64.logand seals seal_write <> 0L then c ctx 13;
         if Int64.logand seals seal_grow <> 0L then c ctx 14;
@@ -90,6 +97,7 @@ let memfd_write ctx (entry : State.fd_entry) args =
     let buf = Arg.as_buf (Arg.nth args 1) in
     let count = Int64.of_int (Bytes.length buf) in
     c ctx 20;
+    State.record_read ctx.Ctx.st s_fd_memfd;
     if Int64.logand m.seals seal_write <> 0L then begin
       c ctx 21;
       Ctx.err Errno.EPERM
@@ -104,6 +112,7 @@ let memfd_write ctx (entry : State.fd_entry) args =
         c ctx 23;
         if grow then begin
           c ctx 24;
+          State.record_write ctx.Ctx.st s_fd_memfd;
           m.msize <- count
         end;
         let seal_bits = Int64.to_int (Int64.logand m.seals 0xfL) in
@@ -125,6 +134,7 @@ let memfd_read ctx (entry : State.fd_entry) args =
   | Memfd m ->
     let count = Arg.as_int (Arg.nth args 2) in
     c ctx 26;
+    State.record_read ctx.Ctx.st s_fd_memfd;
     let n = min count m.msize in
     if Int64.compare n 0L <= 0 then begin
       c ctx 27;
@@ -141,6 +151,7 @@ let memfd_ftruncate ctx (entry : State.fd_entry) args =
   | Memfd m ->
     let len = Arg.as_int (Arg.nth args 1) in
     c ctx 30;
+    State.record_read ctx.Ctx.st s_fd_memfd;
     if Int64.compare len 0L < 0 then begin
       c ctx 31;
       Ctx.err Errno.EINVAL
@@ -159,6 +170,7 @@ let memfd_ftruncate ctx (entry : State.fd_entry) args =
     end
     else begin
       c ctx 34;
+      State.record_write ctx.Ctx.st s_fd_memfd;
       m.msize <- len;
       Ctx.ok0
     end
@@ -172,6 +184,7 @@ let memfd_mmap ctx (entry : State.fd_entry) args =
   | Memfd m ->
     let prot = Arg.as_int (Arg.nth args 2) in
     c ctx 36;
+    State.record_read ctx.Ctx.st s_fd_memfd;
     if Int64.logand m.seals seal_write <> 0L then
       if Int64.logand prot 0x2L <> 0L then begin
         c ctx 37;
@@ -220,6 +233,11 @@ let sub =
       [
         ("fcntl$ADD_SEALS", Lock.scoped [ "memfd_seals" ] ~touches:[ "fd:memfd" ]);
         ("fcntl$GET_SEALS", Lock.scoped [ "memfd_seals" ]);
+      ]
+    ~effects:
+      [
+        ("fcntl$ADD_SEALS", Effect.spec ~writes:[ "fd:memfd" ] ());
+        ("fcntl$GET_SEALS", Effect.spec ~reads:[ "fd:memfd" ] ());
       ]
     ~file_ops:
       [

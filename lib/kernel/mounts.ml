@@ -11,14 +11,33 @@ let blk = Coverage.region ~name:"mounts" ~size:192
 let namespace_sem = Lock.register ~rank:40 ~guards:[ "mounts" ] "namespace_sem"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+let s_mounts = Effect.slot "mounts"
+
+(* The mount table is read lock-free by vfs's open path
+   ([mount_busy] below) — the legitimize_mnt fixture race. *)
+let () =
+  Effect.register_race ~slot:"mounts"
+    ~parties:[ "mount$ext4"; "mount$nfs"; "mount$reiserfs"; "umount"; "open" ]
+    ~bug:"legitimize_mnt"
+
 let init st =
   State.set_global st "mounts"
     (Mounts { mounted = [ ("/mnt/ext4", "ext4") ]; last_umount = 0 })
 
 let mounts_of st =
+  State.record_read st s_mounts;
   match State.global st "mounts" with
   | Some (Mounts m) -> m
   | Some _ | None -> failwith "mounts: state not initialized"
+
+(* Is a mount transition (a umount) still settling? Linux's
+   legitimize_mnt checks the mount's refcount lock-free on the open
+   fast path; we model it as reading the table (through [mounts_of],
+   which records the effect) with no lock held — the read half of the
+   legitimize_mnt race. *)
+let mount_busy st =
+  let m = mounts_of st in
+  m.last_umount > 0 && State.now st - m.last_umount <= 2
 
 let valid_mountpoint = function "/mnt/a" | "/mnt/b" | "/mnt/ext4" -> true | _ -> false
 
@@ -36,6 +55,7 @@ let h_mount_ext4 ctx args =
   end
   else begin
     c ctx 3;
+    State.record_write ctx.Ctx.st s_mounts;
     m.mounted <- (dst, "ext4") :: m.mounted;
     Ctx.ok0
   end
@@ -67,6 +87,7 @@ let h_mount_nfs ctx args =
       end
       else begin
         c ctx 10;
+        State.record_write ctx.Ctx.st s_mounts;
         m.mounted <- (dst, "nfs") :: m.mounted;
         Ctx.ok0
       end
@@ -98,6 +119,7 @@ let h_mount_reiserfs ctx args =
     end
     else begin
       c ctx 17;
+      State.record_write ctx.Ctx.st s_mounts;
       m.mounted <- (dst, "reiserfs") :: m.mounted;
       Ctx.ok0
     end
@@ -109,6 +131,7 @@ let h_umount ctx args =
   c ctx 19;
   if List.mem_assoc dst m.mounted then begin
     c ctx 20;
+    State.record_write ctx.Ctx.st s_mounts;
     m.mounted <- List.remove_assoc dst m.mounted;
     m.last_umount <- State.now ctx.Ctx.st;
     Ctx.ok0
@@ -156,4 +179,12 @@ let sub =
         ("mount$reiserfs", w);
         ("umount", w);
       ]
+    ~effects:
+      (let e = Effect.spec ~writes:[ "mounts" ] () in
+       [
+         ("mount$ext4", e);
+         ("mount$nfs", e);
+         ("mount$reiserfs", e);
+         ("umount", e);
+       ])
     ()

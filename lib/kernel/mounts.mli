@@ -10,4 +10,10 @@ type mounts = {
 
 type State.global += Mounts of mounts
 
+val mount_busy : State.t -> bool
+(** Is a umount still settling (within its data-race window)? Read by
+    {!Vfs}'s open path with no lock held — the lock-free refcount
+    check of Linux's [legitimize_mnt], and the read half of the
+    [legitimize_mnt] fixture race (records a ["mounts"] effect read). *)
+
 val sub : Subsystem.t

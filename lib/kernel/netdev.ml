@@ -18,6 +18,17 @@ let c ctx o = Ctx.cover ctx (blk + o)
    rtnetlink handlers manage alongside the devices. *)
 let rtnl = Lock.register ~rank:10 ~guards:[ "netdevs"; "nl_addrs" ] "rtnl"
 
+(* Effect slots: the device table, and the packet-socket tx statistics
+   that are deliberately NOT guarded by any class — the
+   [packet_seq_show] fixture race below. *)
+let s_netdevs = Effect.slot "netdevs"
+let s_pkt_stats = Effect.slot "pkt_stats"
+
+let () =
+  Effect.register_race ~slot:"pkt_stats"
+    ~parties:[ "sendto$packet"; "socket$packet" ]
+    ~bug:"packet_seq_show"
+
 let fresh name =
   { dname = name; up = false; qdisc_limit = None; last_xmit = 0; macvlan_dying = false }
 
@@ -35,19 +46,27 @@ let devs_of st =
 (* State accessors for sibling subsystems (rtnetlink mutates the same
    device table that the ioctl paths manage). *)
 
-let lookup st name = Hashtbl.find_opt (devs_of st) name
+let lookup st name =
+  State.record_read st s_netdevs;
+  Hashtbl.find_opt (devs_of st) name
 
 let sorted_names st =
+  State.record_read st s_netdevs;
   Hashtbl.fold (fun name _ acc -> name :: acc) (devs_of st) []
   |> List.sort String.compare
 
-let device_count st = Hashtbl.length (devs_of st)
+let device_count st =
+  State.record_read st s_netdevs;
+  Hashtbl.length (devs_of st)
 
-let install st dev = Hashtbl.replace (devs_of st) dev.dname dev
+let install st dev =
+  State.record_write st s_netdevs;
+  Hashtbl.replace (devs_of st) dev.dname dev
 
 let remove st name =
   let devs = devs_of st in
   if Hashtbl.mem devs name then begin
+    State.record_write st s_netdevs;
     Hashtbl.remove devs name;
     true
   end
@@ -55,7 +74,24 @@ let remove st name =
 
 let h_socket_packet ctx _args =
   c ctx 0;
-  let entry = State.alloc_fd ctx.Ctx.st Packet_sock in
+  let st = ctx.Ctx.st in
+  (* /proc/net/packet-style walk: creating a second packet socket scans
+     the existing socket list and reads the tx statistics another
+     socket may be updating with no lock held at all — the
+     packet_seq_show data race (5.6). *)
+  if
+    State.exists_fd st (fun e ->
+        match e.State.kind with Packet_sock -> true | _ -> false)
+  then begin
+    c ctx 1;
+    State.record_read st s_pkt_stats;
+    let dirty = State.counter st "pkt.dirty_at" in
+    if dirty > 0 && State.now st - dirty <= 2 then begin
+      c ctx 4;
+      Ctx.bug ctx "packet_seq_show"
+    end
+  end;
+  let entry = State.alloc_fd st Packet_sock in
   Ctx.ok (Int64.of_int entry.State.fd)
 
 let with_packet ctx args k =
@@ -66,6 +102,7 @@ let with_packet ctx args k =
 
 let dev_arg ctx args i =
   let name = Arg.as_str (Arg.nth args i) in
+  State.record_read ctx.Ctx.st s_netdevs;
   let devs = devs_of ctx.Ctx.st in
   (name, Hashtbl.find_opt devs name)
 
@@ -75,6 +112,7 @@ let h_ifup ctx args =
       match dev_arg ctx args 2 with
       | _, Some dev ->
         c ctx 6;
+        State.record_write ctx.Ctx.st s_netdevs;
         dev.up <- true;
         Ctx.ok0
       | name, None ->
@@ -93,6 +131,7 @@ let h_ifdown ctx args =
       match dev_arg ctx args 2 with
       | _, Some dev ->
         c ctx 11;
+        State.record_write ctx.Ctx.st s_netdevs;
         dev.up <- false;
         Ctx.ok0
       | _, None ->
@@ -111,6 +150,7 @@ let h_macvlan_create ctx args =
         end
         else begin
           c ctx 16;
+          State.record_write ctx.Ctx.st s_netdevs;
           Hashtbl.replace devs "macvlan0" (fresh "macvlan0");
           Ctx.ok0
         end
@@ -124,12 +164,14 @@ let h_macvlan_create ctx args =
 let h_macvlan_del ctx args =
   c ctx 20;
   with_packet ctx args (fun () ->
+      State.record_read ctx.Ctx.st s_netdevs;
       let devs = devs_of ctx.Ctx.st in
       match Hashtbl.find_opt devs "macvlan0" with
       | Some dev ->
         c ctx 21;
         (* Teardown is asynchronous: the device lingers briefly, still
            up, with its broadcast queue live. *)
+        State.record_write ctx.Ctx.st s_netdevs;
         dev.macvlan_dying <- true;
         Ctx.ok0
       | None ->
@@ -148,6 +190,7 @@ let h_qdisc_add ctx args =
         end
         else begin
           c ctx 26;
+          State.record_write ctx.Ctx.st s_netdevs;
           dev.qdisc_limit <- Some limit;
           if limit = 0 then c ctx 27;
           Ctx.ok0
@@ -162,6 +205,7 @@ let h_qdisc_del ctx args =
       match dev_arg ctx args 2 with
       | _, Some dev ->
         c ctx 31;
+        State.record_write ctx.Ctx.st s_netdevs;
         dev.qdisc_limit <- None;
         Ctx.ok0
       | _, None ->
@@ -181,7 +225,13 @@ let h_sendto_packet ctx args =
         end
         else begin
           c ctx 36;
+          State.record_write ctx.Ctx.st s_netdevs;
           dev.last_xmit <- State.now ctx.Ctx.st;
+          (* Per-socket tx statistics, bumped outside any lock — the
+             write half of the packet_seq_show race. *)
+          State.record_write ctx.Ctx.st s_pkt_stats;
+          ignore (State.incr_counter ctx.Ctx.st "pkt.tx");
+          State.set_counter ctx.Ctx.st "pkt.dirty_at" (State.now ctx.Ctx.st);
           (* Broadcast onto a macvlan whose teardown already started
              queues work against the freed port (5.11). *)
           if dev.macvlan_dying then begin
@@ -216,6 +266,7 @@ let h_sendto_packet ctx args =
 let h_recv_packet ctx args =
   c ctx 43;
   with_packet ctx args (fun () ->
+      State.record_read ctx.Ctx.st s_netdevs;
       let devs = devs_of ctx.Ctx.st in
       match Hashtbl.find_opt devs "eth0" with
       | Some dev ->
@@ -287,4 +338,18 @@ let sub =
         ("sendto$packet", w);
         ("recvfrom$packet", r);
       ]
+    ~effects:
+      (let wdev = Effect.spec ~writes:[ "netdevs" ] () in
+       [
+         ("socket$packet", Effect.spec ~reads:[ "pkt_stats" ] ());
+         ("ioctl$ifup", wdev);
+         ("ioctl$ifdown", wdev);
+         ("ioctl$macvlan_create", wdev);
+         ("ioctl$macvlan_del", wdev);
+         ("ioctl$qdisc_add", wdev);
+         ("ioctl$qdisc_del", wdev);
+         ( "sendto$packet",
+           Effect.spec ~writes:[ "netdevs"; "pkt_stats" ] () );
+         ("recvfrom$packet", Effect.spec ~reads:[ "netdevs" ] ());
+       ])
     ()

@@ -35,6 +35,16 @@ type State.global += Nl_addrs of (string, int64 list) Hashtbl.t
 let blk = Coverage.region ~name:"netlink" ~size:512
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slots. "netdevs" is the same slot netdev.ml interns — the
+   rtnetlink handlers mutate that shared table directly. The
+   per-socket receive state (queues, cursors, memberships) is the
+   fd:nl_sock payload; socket creation itself is exempt
+   (fresh-payload allocation). *)
+let s_genl = Effect.slot "genl_families"
+let s_nl_addrs = Effect.slot "nl_addrs"
+let s_nl_sock = Effect.slot "fd:nl_sock"
+let s_netdevs = Effect.slot "netdevs"
+
 let nlmsg_hdrlen = 16
 let nla_hdrlen = 4
 let nlm_f_dump = 0x300
@@ -54,14 +64,21 @@ let fresh_sock nproto =
   }
 
 let families_of st =
+  State.record_read st s_genl;
   match State.global st "genl_families" with
   | Some (Genl_families t) -> t
   | Some _ | None -> failwith "netlink: state not initialized"
 
 let addrs_of st =
+  State.record_read st s_nl_addrs;
   match State.global st "nl_addrs" with
   | Some (Nl_addrs t) -> t
   | Some _ | None -> failwith "netlink: state not initialized"
+
+(* Queue a reply on the socket: fd:nl_sock payload write. *)
+let enqueue st s n =
+  State.record_write st s_nl_sock;
+  s.queued <- s.queued + n
 
 let next_family_id st = genl_base_id - 1 + State.incr_counter st "genl_next_id"
 
@@ -97,7 +114,9 @@ let h_socket_generic ctx _args =
 
 let with_nl ctx ~proto args k =
   match State.lookup_fd ctx.Ctx.st (Arg.as_fd (Arg.nth args 0)) with
-  | Some { kind = Nl_sock s; _ } when s.nproto = proto -> k s
+  | Some { kind = Nl_sock s; _ } when s.nproto = proto ->
+    State.record_read ctx.Ctx.st s_nl_sock;
+    k s
   | Some { kind = Nl_sock _; _ } ->
     c ctx 2;
     Ctx.err Errno.EOPNOTSUPP
@@ -282,7 +301,7 @@ let h_newlink ctx args =
               c ctx 33;
               (match at.a_mtu with Some _ -> c ctx 34 | None -> ());
               ignore dev;
-              s.queued <- s.queued + 1;
+              enqueue st s 1;
               Ctx.ok0
             | None, false ->
               c ctx 35;
@@ -304,7 +323,7 @@ let h_newlink ctx args =
                 c ctx 40;
                 Netdev.install st (Netdev.fresh name);
                 (match at.a_mtu with Some _ -> c ctx 41 | None -> ());
-                s.queued <- s.queued + 1;
+                enqueue st s 1;
                 Ctx.ok0
               end)))
 
@@ -330,8 +349,9 @@ let h_dellink ctx args =
             (* Unregister immediately. A dump that is mid-flight on
                this socket keeps its recorded offset (see GETLINK). *)
             ignore (Netdev.remove st d.Netdev.dname);
+            State.record_write st s_nl_addrs;
             Hashtbl.remove (addrs_of st) d.Netdev.dname;
-            s.queued <- s.queued + 1;
+            enqueue st s 1;
             Ctx.ok0))
 
 let h_setlink ctx args =
@@ -363,9 +383,10 @@ let h_setlink ctx args =
                 if want_up <> dev.Netdev.up then
                   c ctx (if want_up then 83 else 84)
                 else c ctx 85;
+                State.record_write st s_netdevs;
                 dev.Netdev.up <- want_up;
                 (match at.a_mtu with Some _ -> c ctx 86 | None -> ());
-                s.queued <- s.queued + 1;
+                enqueue st s 1;
                 Ctx.ok0
               end
             end
@@ -373,7 +394,7 @@ let h_setlink ctx args =
               (* change mask clear: attribute-only update. *)
               c ctx 87;
               (match at.a_mtu with Some _ -> c ctx 86 | None -> ());
-              s.queued <- s.queued + 1;
+              enqueue st s 1;
               Ctx.ok0
             end))
 
@@ -393,6 +414,7 @@ let h_getlink ctx args =
               (* Start a fresh dump: emit the first batch and record
                  where to resume. *)
               c ctx 102;
+              State.record_write st s_nl_sock;
               s.dump_total <- count;
               let batch = min dump_batch count in
               s.dump_offset <- batch;
@@ -416,6 +438,7 @@ let h_getlink ctx args =
               end;
               let upper = min count s.dump_total in
               let batch = min dump_batch (max 0 (upper - s.dump_offset)) in
+              State.record_write st s_nl_sock;
               s.dump_offset <- s.dump_offset + batch;
               s.queued <- s.queued + batch;
               if s.dump_offset >= upper then begin
@@ -434,7 +457,7 @@ let h_getlink ctx args =
             match dev with
             | Some dev ->
               c ctx 107;
-              s.queued <- s.queued + 1;
+              enqueue st s 1;
               Ctx.ok (if dev.Netdev.up then 1L else 0L)
             | None ->
               c ctx 108;
@@ -475,8 +498,9 @@ let h_newaddr ctx args =
                 let ifa = Arg.field msg 4 in
                 let plen = Int64.to_int (Arg.as_int (Arg.field ifa 1)) in
                 if plen = 0 then c ctx 135;
+                State.record_write st s_nl_addrs;
                 Hashtbl.replace tbl dev.Netdev.dname (addr :: cur);
-                s.queued <- s.queued + 1;
+                enqueue st s 1;
                 Ctx.ok0
               end)))
 
@@ -501,7 +525,7 @@ let h_getaddr ctx args =
                    (Hashtbl.find_opt (addrs_of st) dev.Netdev.dname))
             in
             if n = 0 then c ctx 152 else c ctx 153;
-            s.queued <- s.queued + n;
+            enqueue st s n;
             Ctx.ok (Int64.of_int n)))
 
 let h_newqdisc ctx args =
@@ -527,18 +551,20 @@ let h_newqdisc ctx args =
               c ctx 173;
               (* Same field the ioctl path manages: a zero limit arms
                  netdev's qdisc_calculate_pkt_len out-of-bounds. *)
+              State.record_write st s_netdevs;
               dev.Netdev.qdisc_limit <- Some limit;
               if limit = 0 then c ctx 174;
               let tcm = Arg.field msg 4 in
               let parent = Int64.to_int (Arg.as_int (Arg.field tcm 3)) in
               if parent <> 0 then c ctx 175;
-              s.queued <- s.queued + 1;
+              enqueue st s 1;
               Ctx.ok0)))
 
 let h_recvmsg ctx args =
   c ctx 190;
   match State.lookup_fd ctx.Ctx.st (Arg.as_fd (Arg.nth args 0)) with
   | Some { kind = Nl_sock s; _ } ->
+    State.record_read ctx.Ctx.st s_nl_sock;
     if s.queued = 0 then begin
       c ctx 191;
       Ctx.ok 0L
@@ -548,6 +574,7 @@ let h_recvmsg ctx args =
       (* Mid-dump replies carry NLM_F_MULTI. *)
       if s.dump_total >= 0 then c ctx 193;
       let n = s.queued in
+      State.record_write ctx.Ctx.st s_nl_sock;
       s.queued <- 0;
       Ctx.ok (Int64.of_int (n * 20))
     end
@@ -585,7 +612,7 @@ let h_getfamily ctx args =
             c ctx 203;
             genl_combo ctx ~cmd:3 ~bound:(s.bound_family <> None)
               ~registered:true ~nattrs:0;
-            s.queued <- s.queued + 1;
+            enqueue ctx.Ctx.st s 1;
             Ctx.ok (Int64.of_int f.gid)
           | Some _ ->
             (* Known name whose family was unloaded. *)
@@ -605,6 +632,7 @@ let h_bind_genl ctx args =
       | Some f ->
         c ctx 221;
         if f.gname = "nlctrl" then c ctx 222;
+        State.record_write ctx.Ctx.st s_nl_sock;
         s.bound_family <- Some id;
         Ctx.ok0
       | None ->
@@ -661,6 +689,7 @@ let h_genl_send ctx args =
             let nattrs = genl_attrs ctx msg ~at:3 in
             genl_combo ctx ~cmd ~bound:(s.bound_family <> None)
               ~registered:f.registered ~nattrs;
+            State.record_write st s_genl;
             f.sends <- f.sends + 1;
             if cmd = 0 then begin
               (* CTRL_CMD_UNSPEC: no family accepts it. *)
@@ -673,7 +702,7 @@ let h_genl_send ctx args =
               | "ethtool" -> c ctx 238
               | "nlctrl" -> c ctx 239
               | _ -> c ctx 240);
-              s.queued <- s.queued + 1;
+              enqueue st s 1;
               Ctx.ok 0L
             end
           end
@@ -698,10 +727,11 @@ let h_devlink_reload ctx args =
           ignore (genl_attrs ctx msg ~at:3);
         (* Reload unregisters and re-registers the family under a
            fresh runtime id; ids saved before the reload now dangle. *)
+        State.record_write st s_genl;
         f.gid <- next_family_id st;
         genl_combo ctx ~cmd:1 ~bound:(s.bound_family <> None)
           ~registered:true ~nattrs:0;
-        s.queued <- s.queued + 1;
+        enqueue st s 1;
         Ctx.ok (Int64.of_int f.gid))
 
 let h_nlctrl_unregister ctx args =
@@ -717,6 +747,7 @@ let h_nlctrl_unregister ctx args =
         Ctx.err Errno.EPERM
       | Some f ->
         c ctx 273;
+        State.record_write ctx.Ctx.st s_genl;
         f.registered <- false;
         Ctx.ok0)
 
@@ -729,6 +760,7 @@ let h_add_membership ctx args =
   in
   match State.lookup_fd ctx.Ctx.st (Arg.as_fd (Arg.nth args 0)) with
   | Some { kind = Nl_sock s; _ } ->
+    State.record_read ctx.Ctx.st s_nl_sock;
     if group <= 0 then begin
       c ctx 281;
       Ctx.err Errno.EINVAL
@@ -739,6 +771,7 @@ let h_add_membership ctx args =
     end
     else begin
       c ctx 283;
+      State.record_write ctx.Ctx.st s_nl_sock;
       s.memberships <- s.memberships + 1;
       Ctx.ok0
     end
@@ -846,7 +879,11 @@ let sub =
         ("bind$nl_generic", ge h_bind_genl);
         ("sendmsg$genl", ge h_genl_send);
         ("sendmsg$devlink_reload", ge h_devlink_reload);
-        ("sendmsg$nlctrl_unregister", Subsystem.locked [ genl_mutex ] h_nlctrl_unregister);
+        (* Unregister resolves the sender's socket like every other
+           genl op, so it must hold the socket lock too — the first
+           draft took genl_mutex alone, and the runtime effect
+           validator flagged the unlocked fd:nl_sock read. *)
+        ("sendmsg$nlctrl_unregister", ge h_nlctrl_unregister);
         ("setsockopt$NETLINK_ADD_MEMBERSHIP", sk h_add_membership);
       ]
     ~locks:
@@ -863,7 +900,37 @@ let sub =
         ("bind$nl_generic", ge_spec [ "fd:nl_sock" ]);
         ("sendmsg$genl", ge_spec [ "genl_families"; "fd:nl_sock" ]);
         ("sendmsg$devlink_reload", ge_spec [ "genl_families"; "fd:nl_sock" ]);
-        ("sendmsg$nlctrl_unregister", Lock.scoped [ "genl_mutex" ] ~touches:[ "genl_families" ]);
+        ("sendmsg$nlctrl_unregister", ge_spec [ "genl_families" ]);
         ("setsockopt$NETLINK_ADD_MEMBERSHIP", sk_spec [ "fd:nl_sock" ]);
+      ]
+    ~effects:
+      [
+        ( "sendmsg$RTM_NEWLINK",
+          Effect.spec ~writes:[ "netdevs"; "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_DELLINK",
+          Effect.spec ~writes:[ "netdevs"; "nl_addrs"; "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_SETLINK",
+          Effect.spec ~writes:[ "netdevs"; "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_GETLINK",
+          Effect.spec ~reads:[ "netdevs" ] ~writes:[ "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_NEWADDR",
+          Effect.spec ~reads:[ "netdevs" ] ~writes:[ "nl_addrs"; "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_GETADDR",
+          Effect.spec ~reads:[ "netdevs"; "nl_addrs" ] ~writes:[ "fd:nl_sock" ] () );
+        ( "sendmsg$RTM_NEWQDISC",
+          Effect.spec ~writes:[ "netdevs"; "fd:nl_sock" ] () );
+        ("recvmsg$netlink", Effect.spec ~writes:[ "fd:nl_sock" ] ());
+        ( "sendmsg$GETFAMILY",
+          Effect.spec ~reads:[ "genl_families" ] ~writes:[ "fd:nl_sock" ] () );
+        ( "bind$nl_generic",
+          Effect.spec ~reads:[ "genl_families" ] ~writes:[ "fd:nl_sock" ] () );
+        ( "sendmsg$genl",
+          Effect.spec ~writes:[ "genl_families"; "fd:nl_sock" ] () );
+        ( "sendmsg$devlink_reload",
+          Effect.spec ~writes:[ "genl_families"; "fd:nl_sock" ] () );
+        ( "sendmsg$nlctrl_unregister",
+          Effect.spec ~reads:[ "fd:nl_sock" ] ~writes:[ "genl_families" ] () );
+        ( "setsockopt$NETLINK_ADD_MEMBERSHIP",
+          Effect.spec ~writes:[ "fd:nl_sock" ] () );
       ]
     ()

@@ -27,6 +27,11 @@ let blk = Coverage.region ~name:"sock" ~size:1024
 let sk_lock = Lock.register ~rank:60 ~guards:[ "rxrpc"; "fd:sock" ] "sk_lock"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slots: the rxrpc local-endpoint table and the per-socket
+   payload. Socket/peer allocation is exempt (fresh payload). *)
+let s_rxrpc = Effect.slot "rxrpc"
+let s_fd_sock = Effect.slot "fd:sock"
+
 let proto_index = function
   | Tcp -> 0
   | Udp -> 1
@@ -39,6 +44,7 @@ let proto_index = function
 let init st = State.set_global st "rxrpc" (Rxrpc_locals (Hashtbl.create 8))
 
 let rxrpc_locals st =
+  State.record_read st s_rxrpc;
   match State.global st "rxrpc" with
   | Some (Rxrpc_locals t) -> t
   | Some _ | None -> failwith "sock: state not initialized"
@@ -69,7 +75,9 @@ let h_socket proto ctx _args = new_sock ctx proto
 let with_sock ctx args k =
   let fd = Arg.as_fd (Arg.nth args 0) in
   match State.lookup_fd ctx.Ctx.st fd with
-  | Some { kind = Sock s; _ } -> k s
+  | Some { kind = Sock s; _ } ->
+    State.record_read ctx.Ctx.st s_fd_sock;
+    k s
   | Some _ ->
     c ctx 8;
     Ctx.err Errno.ENOTCONN
@@ -97,6 +105,7 @@ let h_bind ctx args =
       end
       else begin
         c ctx (16 + proto_index s.proto);
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.bound <- true;
         s.bound_addr <- addr_of args 1;
         Ctx.ok0
@@ -117,6 +126,7 @@ let h_listen ctx args =
       else begin
         c ctx 27;
         let backlog = Int64.to_int (Arg.as_int (Arg.nth args 1)) in
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.listening <- true;
         s.backlog <- max 0 backlog;
         if backlog = 0 then c ctx 28 else if backlog > 128 then c ctx 29 else c ctx 30;
@@ -176,6 +186,7 @@ let h_connect ctx args =
               c ctx 40;
               Ctx.bug ctx "rxrpc_lookup_local"
             | Some _ | None -> ());
+            State.record_write ctx.Ctx.st s_fd_sock;
             s.connected <- true;
             Ctx.ok0
           end
@@ -190,6 +201,7 @@ let h_connect ctx args =
           end
           else begin
             c ctx 44;
+            State.record_write ctx.Ctx.st s_fd_sock;
             s.connected <- true;
             Ctx.ok0
           end
@@ -200,6 +212,7 @@ let h_connect ctx args =
           end
           else begin
             c ctx (46 + proto_index s.proto);
+            State.record_write ctx.Ctx.st s_fd_sock;
             s.connected <- true;
             Ctx.ok0
           end)
@@ -215,6 +228,7 @@ let h_connect_unspec ctx args =
       end
       else if s.connected then begin
         c ctx 56;
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.connected <- false;
         Ctx.bug ctx "tcp_disconnect";
         Ctx.ok0
@@ -316,6 +330,7 @@ let h_setsockopt_sndbuf ctx args =
   with_sock ctx args (fun s ->
       let v = Int64.to_int (Arg.as_int (Arg.field (Arg.nth args 3) 0)) in
       c ctx 89;
+      State.record_write ctx.Ctx.st s_fd_sock;
       s.sndbuf <- max 256 (v * 2);
       if s.sndbuf < 1024 then c ctx 90;
       Ctx.ok0)
@@ -355,6 +370,7 @@ let h_shutdown ctx args =
           c ctx 102;
           Ctx.bug ctx "unix_release_refcount"
         end;
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.shut <- true;
         Ctx.ok0
       end)
@@ -372,7 +388,9 @@ let h_bind_rxrpc ctx args =
         let refs =
           match Hashtbl.find_opt locals addr with Some r -> r | None -> 0
         in
+        State.record_write ctx.Ctx.st s_rxrpc;
         Hashtbl.replace locals addr (refs + 1);
+        State.record_write ctx.Ctx.st s_fd_sock;
         if s.bound then begin
           (* Second bind on the same socket: the old local endpoint is
              not released. *)
@@ -397,6 +415,7 @@ let h_setsockopt_rds_ib ctx args =
       end
       else begin
         c ctx 112;
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.ib_transport <- true;
         Ctx.ok0
       end)
@@ -405,6 +424,7 @@ let sock_write ctx (entry : State.fd_entry) args =
   match entry.kind with
   | Sock s ->
     c ctx 114;
+    State.record_read ctx.Ctx.st s_fd_sock;
     if s.shut then begin
       c ctx 115;
       Ctx.err Errno.EPIPE
@@ -423,6 +443,7 @@ let sock_read ctx (entry : State.fd_entry) _args =
   match entry.kind with
   | Sock s ->
     c ctx 119;
+    State.record_read ctx.Ctx.st s_fd_sock;
     if s.shut then Ctx.ok 0L
     else if not s.connected then begin
       c ctx 120;
@@ -441,6 +462,7 @@ let h_setsockopt_rcvbuf ctx args =
   with_sock ctx args (fun s ->
       let v = Int64.to_int (Arg.as_int (Arg.field (Arg.nth args 3) 0)) in
       c ctx 641;
+      State.record_write ctx.Ctx.st s_fd_sock;
       s.rcvbuf <- max 256 (v * 2);
       if s.rcvbuf < 1024 then c ctx 642;
       Ctx.ok0)
@@ -455,6 +477,7 @@ let h_setsockopt_keepalive ctx args =
       end
       else begin
         c ctx 646;
+        State.record_write ctx.Ctx.st s_fd_sock;
         s.keepalive <- Int64.compare v 0L <> 0;
         if s.keepalive then c ctx 647;
         Ctx.ok0
@@ -466,6 +489,7 @@ let h_getsockopt_error ctx args =
       c ctx 650;
       (* Reading SO_ERROR clears the pending error. *)
       let err = if s.pending_err then Int64.of_int (Errno.code Errno.EPIPE) else 0L in
+      State.record_write ctx.Ctx.st s_fd_sock;
       s.pending_err <- false;
       Ctx.ok err)
 
@@ -535,6 +559,7 @@ let h_sendmsg ctx args =
         end
         else if s.shut then begin
           c ctx 665;
+          State.record_write ctx.Ctx.st s_fd_sock;
           s.pending_err <- true;
           Ctx.err Errno.EPIPE
         end
@@ -656,6 +681,30 @@ let sub =
         ("getsockname", w []);
         ("shutdown", wsk);
       ]
+    ~effects:
+      (let wr = Effect.spec ~writes:[ "fd:sock" ] () in
+       let rd = Effect.spec ~reads:[ "fd:sock" ] () in
+       [
+         ("bind", wr);
+         ("bind$rxrpc", Effect.spec ~writes:[ "rxrpc"; "fd:sock" ] ());
+         ("listen", wr);
+         ("accept", wr);
+         ("connect", Effect.spec ~reads:[ "rxrpc" ] ~writes:[ "fd:sock" ] ());
+         ("connect$unspec", wr);
+         ("sendto", wr);
+         ("recvfrom", wr);
+         ("setsockopt$SO_SNDBUF", wr);
+         ("setsockopt$SO_RCVBUF", wr);
+         ("setsockopt$SO_KEEPALIVE", wr);
+         ("getsockopt$SO_ERROR", wr);
+         ("ioctl$FIONREAD", rd);
+         ("accept4", wr);
+         ("sendmsg", wr);
+         ("setsockopt$SO_LINGER", wr);
+         ("setsockopt$rds_ib", wr);
+         ("getsockname", rd);
+         ("shutdown", wr);
+       ])
     ~file_ops:
       [
         {

@@ -21,6 +21,13 @@ type t = {
      slots. A plain int array keeps the per-acquire hook at an array
      increment; grown on demand. *)
   mutable lock_counts : int array;
+  (* Effect-access counters (one read + one write counter per [Effect]
+     slot, same dense-array scheme) and, under debug validation, the
+     current call's observed access trace (encoded [slot*2 + is_write],
+     innermost-last). *)
+  mutable eff_reads : int array;
+  mutable eff_writes : int array;
+  mutable eff_trace : int list;
 }
 
 let create ~version =
@@ -32,6 +39,9 @@ let create ~version =
     globals = Hashtbl.create 16;
     counters = Hashtbl.create 16;
     lock_counts = [||];
+    eff_reads = [||];
+    eff_writes = [||];
+    eff_trace = [];
   }
 
 let version t = t.kversion
@@ -118,6 +128,9 @@ let copy ~copy_kind ~copy_global t =
     globals;
     counters = Hashtbl.copy t.counters;
     lock_counts = Array.copy t.lock_counts;
+    eff_reads = Array.copy t.eff_reads;
+    eff_writes = Array.copy t.eff_writes;
+    eff_trace = t.eff_trace;
   }
 
 let incr_counter t name =
@@ -145,3 +158,51 @@ let lock_slot_counts t =
   let out = ref [] in
   Array.iteri (fun i n -> if n > 0 then out := (i, n) :: !out) t.lock_counts;
   List.rev !out
+
+(* ---- effect-access recording ----
+
+   Called from the instrumented subsystem accessors. With hooks off
+   and validation off this is two ref reads; with hooks on, an array
+   increment. Results never depend on it (campaigns are bit-identical
+   either way). *)
+
+let grown a slot =
+  let n = Array.length a in
+  if slot < n then a
+  else begin
+    let a' = Array.make (max 16 (max (slot + 1) (2 * n))) 0 in
+    Array.blit a 0 a' 0 n;
+    a'
+  end
+
+let record_read t slot =
+  if Effect.hooks_enabled () then begin
+    let a = grown t.eff_reads slot in
+    t.eff_reads <- a;
+    Array.unsafe_set a slot (Array.unsafe_get a slot + 1)
+  end;
+  if Effect.validate_enabled () then t.eff_trace <- (slot * 2) :: t.eff_trace
+
+let record_write t slot =
+  if Effect.hooks_enabled () then begin
+    let a = grown t.eff_writes slot in
+    t.eff_writes <- a;
+    Array.unsafe_set a slot (Array.unsafe_get a slot + 1)
+  end;
+  if Effect.validate_enabled () then
+    t.eff_trace <- ((slot * 2) + 1) :: t.eff_trace
+
+let reset_effect_trace t = t.eff_trace <- []
+
+let effect_trace t =
+  List.rev_map (fun e -> (e land 1 = 1, e asr 1)) t.eff_trace
+
+let effect_slot_counts t =
+  let get a i = if i < Array.length a then Array.unsafe_get a i else 0 in
+  let n = max (Array.length t.eff_reads) (Array.length t.eff_writes) in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let r = get t.eff_reads i and w = get t.eff_writes i in
+    if r > 0 || w > 0 then out := (i, r, w) :: !out
+  done;
+  !out

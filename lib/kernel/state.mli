@@ -114,3 +114,27 @@ val bump_lock : t -> int -> unit
 val lock_slot_counts : t -> (int * int) list
 (** The non-zero [(slot, count)] pairs, in slot order.
     {!Kernel.lock_pair_counts} maps slots back to printable keys. *)
+
+(** {2 Effect-access recording}
+
+    Instrumented subsystem accessors call these with [Effect]'s dense
+    slot indices. With hooks on ({!Effect.hooks_enabled}) accesses are
+    counted per slot (one read + one write counter, array-increment
+    hot path); under debug validation ({!Effect.validate_enabled}) the
+    current call's access trace is recorded too, for the
+    declared-vs-observed check in [Kernel.exec_call]. Results never
+    depend on recording — campaigns are bit-identical hooks on/off. *)
+
+val record_read : t -> int -> unit
+val record_write : t -> int -> unit
+
+val reset_effect_trace : t -> unit
+(** Clear the per-call trace ([Kernel] calls it at call entry). *)
+
+val effect_trace : t -> (bool * int) list
+(** The recorded trace in access order, decoded to
+    [(is_write, effect slot)]. *)
+
+val effect_slot_counts : t -> (int * int * int) list
+(** Non-zero [(slot, reads, writes)] triples in slot order;
+    {!Kernel.effect_counts} maps slots back to names. *)

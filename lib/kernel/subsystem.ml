@@ -15,12 +15,23 @@ type t = {
   copy_kind : State.fd_kind -> State.fd_kind option;
   copy_global : State.global -> State.global option;
   locks : (string * Lock.spec) list;
+  effects : (string * Effect.spec) list;
 }
 
 let make ?(init = fun _ -> ()) ?(handlers = []) ?(file_ops = [])
     ?(copy_kind = fun _ -> None) ?(copy_global = fun _ -> None) ?(locks = [])
-    ~name ~descriptions () =
-  { name; descriptions; init; handlers; file_ops; copy_kind; copy_global; locks }
+    ?(effects = []) ~name ~descriptions () =
+  {
+    name;
+    descriptions;
+    init;
+    handlers;
+    file_ops;
+    copy_kind;
+    copy_global;
+    locks;
+    effects;
+  }
 
 let locked classes h ctx args =
   let rec go = function

@@ -30,6 +30,12 @@ type t = {
           themselves: the runtime validator in {!Kernel.exec_call}
           cross-checks actual acquisition traces against these, so the
           two cannot drift silently. *)
+  effects : (string * Effect.spec) list;
+      (** Declared effect summaries, keyed by handler name — the state
+          slots each handler reads/writes ({!Effect.spec}). Separate
+          from the instrumented accessors for the same reason as
+          [locks]: the runtime validator cross-checks observed access
+          traces against these. *)
 }
 
 val make :
@@ -39,6 +45,7 @@ val make :
   ?copy_kind:(State.fd_kind -> State.fd_kind option) ->
   ?copy_global:(State.global -> State.global option) ->
   ?locks:(string * Lock.spec) list ->
+  ?effects:(string * Effect.spec) list ->
   name:string ->
   descriptions:string ->
   unit ->

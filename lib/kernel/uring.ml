@@ -14,6 +14,10 @@ let blk = Coverage.region ~name:"uring" ~size:192
 let uring_ctx = Lock.register ~rank:80 ~guards:[ "fd:uring" ] "uring_ctx"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slot for the ring payload; io_uring_setup's allocation is
+   exempt (fresh payload). *)
+let s_fd_uring = Effect.slot "fd:uring"
+
 let h_setup ctx args =
   let entries = Int64.to_int (Arg.as_int (Arg.nth args 0)) in
   c ctx 0;
@@ -40,7 +44,9 @@ let h_setup ctx args =
 let with_uring ctx args k =
   let fd = Arg.as_fd (Arg.nth args 0) in
   match State.lookup_fd ctx.Ctx.st fd with
-  | Some { kind = Uring u; _ } -> k u
+  | Some { kind = Uring u; _ } ->
+    State.record_read ctx.Ctx.st s_fd_uring;
+    k u
   | Some _ ->
     c ctx 5;
     Ctx.err Errno.EOPNOTSUPP
@@ -68,6 +74,7 @@ let h_enter ctx args =
         end
         else begin
           let n = min to_submit u.entries in
+          State.record_write ctx.Ctx.st s_fd_uring;
           u.inflight <- u.inflight + n;
           (* GETEVENTS while a buffer unregister is pending cancels the
              task requests against a NULL task context (5.11). *)
@@ -103,6 +110,7 @@ let h_register_buffers ctx args =
       end
       else begin
         c ctx 19;
+        State.record_write ctx.Ctx.st s_fd_uring;
         u.registered_bufs <- max 1 (min nr 1024);
         u.unregister_pending <- false;
         Ctx.ok0
@@ -117,6 +125,7 @@ let h_unregister_buffers ctx args =
       end
       else begin
         c ctx 23;
+        State.record_write ctx.Ctx.st s_fd_uring;
         u.registered_bufs <- 0;
         (* Teardown is deferred while requests are in flight. *)
         if u.inflight > 0 then begin
@@ -132,8 +141,10 @@ let uring_close ctx (entry : State.fd_entry) _args =
   match entry.kind with
   | Uring u ->
     c ctx 26;
+    State.record_read ctx.Ctx.st s_fd_uring;
     if u.inflight > 16 then begin
       c ctx 27;
+      State.record_write ctx.Ctx.st s_fd_uring;
       u.exiting <- true
     end;
     Ctx.ok0
@@ -172,6 +183,13 @@ let sub =
          ("io_uring_enter", w);
          ("io_uring_register$BUFFERS", w);
          ("io_uring_register$UNREGISTER_BUFFERS", w);
+       ])
+    ~effects:
+      (let e = Effect.spec ~writes:[ "fd:uring" ] () in
+       [
+         ("io_uring_enter", e);
+         ("io_uring_register$BUFFERS", e);
+         ("io_uring_register$UNREGISTER_BUFFERS", e);
        ])
     ~file_ops:
       [

@@ -52,7 +52,18 @@ let vfs_files =
 let ep_mutex = Lock.register ~rank:35 ~guards:[ "fd:epoll" ] "ep_mutex"
 let c ctx o = Ctx.cover ctx (blk + o)
 
+(* Effect slots. Fresh-payload allocation (a new File/Epoll/Chrfd
+   record the caller has not yet received the fd for) is exempt from
+   effect classification — the object is unreachable until the call
+   returns, Eraser's initialization-phase rule. Payload accesses after
+   publication are the [fd:*] slots. *)
+let s_fs = Effect.slot "fs"
+let s_fd_file = Effect.slot "fd:file"
+let s_fd_chr = Effect.slot "fd:chr"
+let s_fd_epoll = Effect.slot "fd:epoll"
+
 let fs_of st =
+  State.record_read st s_fs;
   match State.global st "fs" with
   | Some (Fs fs) -> fs
   | Some _ | None -> failwith "vfs: state not initialized"
@@ -98,18 +109,33 @@ let lookup_aio st id =
 
 (* ---- open family ---- *)
 
-let do_open ctx path flags =
+let do_open ?(check_mount = false) ctx path flags =
   let fs = fs_of ctx.Ctx.st in
   c ctx 0;
   if String.length path = 0 then begin
     c ctx 1;
     Ctx.err Errno.EFAULT
   end
-  else
+  else begin
+    (* Opening through a mount point checks the mount table lock-free
+       (legitimize_mnt's refcount fast path): during a umount's settle
+       window the mount can go away under us (5.4). Only [open] walks
+       absolute mount points here — openat is modeled as relative and
+       must stay off the mount table (its effect spec declares no
+       "mounts" read). *)
+    if check_mount && String.length path >= 4 && String.sub path 0 4 = "/mnt"
+    then begin
+      c ctx 9;
+      if Mounts.mount_busy ctx.Ctx.st then begin
+        c ctx 18;
+        Ctx.bug ctx "legitimize_mnt"
+      end
+    end;
     let creating = Int64.logand flags o_creat <> 0L in
     match inode fs path with
     | Some i when i.exists ->
       c ctx 2;
+      State.record_write ctx.Ctx.st s_fs;
       if Int64.logand flags o_trunc <> 0L then begin
         c ctx 3;
         i.size <- 0L
@@ -123,6 +149,7 @@ let do_open ctx path flags =
     | Some _ | None ->
       if creating then begin
         c ctx 5;
+        State.record_write ctx.Ctx.st s_fs;
         let i = inode_or_create fs path in
         i.open_fds <- i.open_fds + 1;
         let entry =
@@ -136,9 +163,12 @@ let do_open ctx path flags =
         c ctx 7;
         Ctx.err Errno.ENOENT
       end
+  end
 
 let h_open ctx args =
-  do_open ctx (Arg.as_str (Arg.nth args 0)) (Arg.as_int (Arg.nth args 1))
+  do_open ~check_mount:true ctx
+    (Arg.as_str (Arg.nth args 0))
+    (Arg.as_int (Arg.nth args 1))
 
 let h_openat ctx args =
   c ctx 8;
@@ -161,17 +191,25 @@ let h_close ctx args =
       let fs = fs_of ctx.Ctx.st in
       match inode fs f.path with
       | Some i ->
+        State.record_write ctx.Ctx.st s_fs;
         i.open_fds <- max 0 (i.open_fds - 1);
         (* __fput racing with ep_remove: closing a descriptor still
-           watched by an epoll instance right after a wait cycle. *)
+           watched by an epoll instance right after a wait cycle. The
+           scan reads every epoll instance's interest list, so it must
+           nest ep_mutex inside vfs_files (rank 30 -> 35) — a first
+           draft read them under vfs_files alone, which the read-side
+           lock-guard-coverage check flagged ("fd:epoll" is ep_mutex
+           territory). *)
         let watched_by_epoll =
-          State.exists_fd ctx.Ctx.st (fun e ->
-              match e.State.kind with
-              | Epoll ep ->
-                List.mem fd ep.watched
-                && State.now ctx.Ctx.st - ep.last_wait <= 3
-                && ep.last_wait > 0
-              | _ -> false)
+          Ctx.with_lock ctx ep_mutex (fun () ->
+              State.record_read ctx.Ctx.st s_fd_epoll;
+              State.exists_fd ctx.Ctx.st (fun e ->
+                  match e.State.kind with
+                  | Epoll ep ->
+                    List.mem fd ep.watched
+                    && State.now ctx.Ctx.st - ep.last_wait <= 3
+                    && ep.last_wait > 0
+                  | _ -> false))
         in
         if watched_by_epoll then begin
           c ctx 13;
@@ -181,6 +219,7 @@ let h_close ctx args =
     | Chrfd _ ->
       c ctx 14;
       let fs = fs_of ctx.Ctx.st in
+      State.record_write ctx.Ctx.st s_fs;
       fs.chr.opens <- max 0 (fs.chr.opens - 1);
       (* cdev_del: device node unlinked while descriptors remained
          open; the final close underflows the cdev refcount. *)
@@ -252,6 +291,7 @@ let file_read ctx (entry : State.fd_entry) args =
         c ctx 35;
         let avail = Int64.sub i.size f.offset in
         let n = min (Int64.of_int count) avail in
+        State.record_write ctx.Ctx.st s_fd_file;
         f.offset <- Int64.add f.offset n;
         if Int64.compare n 1024L > 0 then c ctx 36 else c ctx 37;
         let combo =
@@ -284,9 +324,11 @@ let file_write ctx (entry : State.fd_entry) args =
         let end_pos = Int64.add f.offset (Int64.of_int count) in
         if Int64.compare end_pos i.size > 0 then begin
           c ctx 43;
+          State.record_write ctx.Ctx.st s_fs;
           i.size <- end_pos
         end
         else c ctx 44;
+        State.record_write ctx.Ctx.st s_fd_file;
         f.offset <- end_pos;
         if count = 0 then c ctx 45
         else if count > 4096 then c ctx 46
@@ -322,6 +364,7 @@ let h_lseek ctx args =
       end
       else begin
         c ctx 54;
+        State.record_write ctx.Ctx.st s_fd_file;
         f.offset <- dest;
         if Int64.compare dest size > 0 then c ctx 55;
         Ctx.ok dest
@@ -383,6 +426,7 @@ let h_ftruncate ctx args =
           | Some i ->
             c ctx 70;
             if Int64.compare len i.size < 0 then c ctx 71 else c ctx 72;
+            State.record_write ctx.Ctx.st s_fs;
             i.size <- len;
             Ctx.ok0)
       | _ ->
@@ -399,6 +443,7 @@ let h_fallocate ctx args =
     c ctx 76;
     Ctx.err Errno.EBADF
   | Some { kind = File f; _ } -> (
+    State.record_read ctx.Ctx.st s_fd_file;
     let fs = fs_of ctx.Ctx.st in
     match inode fs f.path with
     | None ->
@@ -423,7 +468,10 @@ let h_fallocate ctx args =
         if Int64.logand mode 0x1L <> 0L then c ctx 81
         else begin
           c ctx 82;
-          if Int64.compare len i.size > 0 then i.size <- len
+          if Int64.compare len i.size > 0 then begin
+            State.record_write ctx.Ctx.st s_fs;
+            i.size <- len
+          end
         end;
         Ctx.ok0
       end)
@@ -439,6 +487,7 @@ let h_fstat ctx args =
     c ctx 86;
     Ctx.err Errno.EBADF
   | Some { kind = File f; _ } -> (
+    State.record_read ctx.Ctx.st s_fd_file;
     let fs = fs_of ctx.Ctx.st in
     match inode fs f.path with
     | None ->
@@ -446,6 +495,7 @@ let h_fstat ctx args =
       Ctx.err Errno.EIO
     | Some i ->
       c ctx 88;
+      State.record_write ctx.Ctx.st s_fs;
       i.last_stat <- State.now ctx.Ctx.st;
       if i.nlink > 1 then c ctx 89;
       Ctx.ok0)
@@ -466,6 +516,7 @@ let h_link ctx args =
     end
     else begin
       c ctx 94;
+      State.record_write ctx.Ctx.st s_fs;
       i.nlink <- i.nlink + 1;
       Ctx.ok0
     end
@@ -481,6 +532,7 @@ let h_unlink ctx args =
     (* Unlinking the char-device node unregisters the cdev. *)
     c ctx 98;
     if fs.chr.registered then begin
+      State.record_write ctx.Ctx.st s_fs;
       fs.chr.registered <- false;
       Ctx.ok0
     end
@@ -493,6 +545,7 @@ let h_unlink ctx args =
     match inode fs path with
     | Some i when i.exists ->
       c ctx 100;
+      State.record_write ctx.Ctx.st s_fs;
       i.nlink <- i.nlink - 1;
       (* drop_nlink racing generic_fillattr: a stat within the race
          window on a multi-link inode that still has open descriptors. *)
@@ -529,6 +582,7 @@ let h_mknod_chr ctx args =
   end
   else begin
     c ctx 108;
+    State.record_write ctx.Ctx.st s_fs;
     fs.chr.registered <- true;
     fs.chr.opens <- 0;
     fs.chr.active <- false;
@@ -545,6 +599,7 @@ let h_open_chr ctx args =
   end
   else begin
     c ctx 112;
+    State.record_write ctx.Ctx.st s_fs;
     fs.chr.opens <- fs.chr.opens + 1;
     if fs.chr.opens > 1 then c ctx 113;
     let entry = State.alloc_fd ctx.Ctx.st (Chrfd { writes = 0 }) in
@@ -557,7 +612,9 @@ let chr_write ctx (entry : State.fd_entry) args =
     let fs = fs_of ctx.Ctx.st in
     let buf = Arg.as_buf (Arg.nth args 1) in
     c ctx 115;
+    State.record_write ctx.Ctx.st s_fd_chr;
     cw.writes <- cw.writes + 1;
+    State.record_write ctx.Ctx.st s_fs;
     fs.chr.active <- true;
     if Bytes.length buf > 256 then c ctx 116 else c ctx 117;
     Ctx.ok (Int64.of_int (Bytes.length buf))
@@ -587,11 +644,13 @@ let h_mmap ctx args =
         match entry.kind with
         | File f ->
           c ctx 123;
+          State.record_write ctx.Ctx.st s_fd_file;
           f.mapped <- true;
           if Int64.logand prot 0x2L <> 0L then c ctx 124;
           Ctx.ok 0x7f0000000000L
         | Chrfd cw ->
           c ctx 125;
+          State.record_read ctx.Ctx.st s_fd_chr;
           (* Mapping an active character device executable takes the
              ioremap path; 5.11 hits a BUG_ON in ioremap_page_range. *)
           if Int64.logand prot 0x4L <> 0L && cw.writes >= 1 then begin
@@ -625,7 +684,9 @@ let h_epoll_create ctx args =
 let with_epoll ctx args k =
   let epfd = Arg.as_fd (Arg.nth args 0) in
   match State.lookup_fd ctx.Ctx.st epfd with
-  | Some { kind = Epoll ep; _ } -> k ep
+  | Some { kind = Epoll ep; _ } ->
+    State.record_read ctx.Ctx.st s_fd_epoll;
+    k ep
   | Some _ ->
     c ctx 135;
     Ctx.err Errno.EINVAL
@@ -648,6 +709,7 @@ let h_epoll_ctl_add ctx args =
         end
         else begin
           c ctx 141;
+          State.record_write ctx.Ctx.st s_fd_epoll;
           ep.watched <- fd :: ep.watched;
           Ctx.ok0
         end)
@@ -658,6 +720,7 @@ let h_epoll_ctl_del ctx args =
       let fd = Arg.as_fd (Arg.nth args 2) in
       if List.mem fd ep.watched then begin
         c ctx 144;
+        State.record_write ctx.Ctx.st s_fd_epoll;
         ep.watched <- List.filter (fun x -> x <> fd) ep.watched;
         Ctx.ok0
       end
@@ -669,6 +732,7 @@ let h_epoll_ctl_del ctx args =
 let h_epoll_wait ctx args =
   c ctx 147;
   with_epoll ctx args (fun ep ->
+      State.record_write ctx.Ctx.st s_fd_epoll;
       ep.last_wait <- State.now ctx.Ctx.st;
       if ep.watched = [] then begin
         c ctx 148;
@@ -692,6 +756,7 @@ let h_io_setup ctx args =
   end
   else begin
     c ctx 153;
+    State.record_write ctx.Ctx.st s_fs;
     let id = fs.next_aio in
     fs.next_aio <- Int64.add fs.next_aio 1L;
     Hashtbl.replace fs.aio id
@@ -722,6 +787,7 @@ let h_io_submit ctx args =
     end
     else begin
       c ctx 159;
+      State.record_write ctx.Ctx.st s_fs;
       let n = max 0 (min 64 (Int64.to_int nr)) in
       a.inflight <- a.inflight + n;
       if n = 0 then c ctx 160 else if n > 4 then c ctx 161 else c ctx 162;
@@ -751,6 +817,7 @@ let h_io_destroy ctx args =
     end
     else begin
       c ctx 168;
+      State.record_write ctx.Ctx.st s_fs;
       if a.inflight > 0 then begin
         c ctx 169;
         a.draining <- true;
@@ -767,7 +834,9 @@ let h_io_destroy ctx args =
 
 let with_file ctx args k =
   match State.lookup_fd ctx.Ctx.st (Arg.as_fd (Arg.nth args 0)) with
-  | Some { kind = File f; _ } -> k f
+  | Some { kind = File f; _ } ->
+    State.record_read ctx.Ctx.st s_fd_file;
+    k f
   | Some _ ->
     c ctx 240;
     Ctx.err Errno.EINVAL
@@ -821,6 +890,7 @@ let h_pwrite ctx args =
           let end_pos = Int64.add offset n in
           if Int64.compare end_pos i.size > 0 then begin
             c ctx 253;
+            State.record_write ctx.Ctx.st s_fs;
             i.size <- end_pos
           end;
           Ctx.ok n
@@ -836,6 +906,7 @@ let h_mkdir ctx args =
     Ctx.err Errno.EEXIST
   | Some _ | None ->
     c ctx 257;
+    State.record_write ctx.Ctx.st s_fs;
     let i = inode_or_create fs path in
     i.is_dir <- true;
     i.nlink <- 2;
@@ -853,6 +924,7 @@ let h_rmdir ctx args =
     end
     else begin
       c ctx 261;
+      State.record_write ctx.Ctx.st s_fs;
       i.exists <- false;
       Ctx.ok0
     end
@@ -876,6 +948,7 @@ let h_rename ctx args =
     match inode fs oldpath with
     | Some i when i.exists ->
       c ctx 267;
+      State.record_write ctx.Ctx.st s_fs;
       (* The destination inode, if any, is replaced. *)
       (match inode fs newpath with
       | Some d when d.exists ->
@@ -907,11 +980,13 @@ let h_flock ctx args =
           end
           else begin
             c ctx 274;
+            State.record_write ctx.Ctx.st s_fs;
             i.locked_ex <- true;
             Ctx.ok0
           end
         | 8L (* LOCK_UN *) ->
           c ctx 275;
+          State.record_write ctx.Ctx.st s_fs;
           i.locked_ex <- false;
           Ctx.ok0
         | 1L (* LOCK_SH *) ->
@@ -938,6 +1013,7 @@ let h_fcntl_setfl ctx args =
   with_file ctx args (fun f ->
       let flags = Arg.as_int (Arg.nth args 2) in
       c ctx 284;
+      State.record_write ctx.Ctx.st s_fd_file;
       (* Only the status flags may change; access mode bits are fixed. *)
       f.oflags <- Int64.logor (Int64.logand f.oflags 0x3L)
           (Int64.logand flags (Int64.lognot 0x3L));
@@ -960,7 +1036,7 @@ flags epoll_events = 0x1 0x2 0x4 0x8 0x10
 struct epoll_event { events flags[epoll_events], data int64 }
 struct stat_buf { size int64, nlink int32, mode int32 }
 struct iocb { op int32[0:8], fd fd, buf buffer[in], nbytes int64 }
-open(file filename["/tmp/f0", "/tmp/f1", "/etc/passwd", "/tmp/data"], flags flags[open_flags], mode const[0x1ff]) fd
+open(file filename["/tmp/f0", "/tmp/f1", "/etc/passwd", "/tmp/data", "/mnt/ext4"], flags flags[open_flags], mode const[0x1ff]) fd
 openat(dirfd fd, file filename["/tmp/f0", "/tmp/f1"], flags flags[open_flags]) fd
 close(fd fd)
 read(fd fd, buf buffer[out], count len[buf])
@@ -1059,9 +1135,13 @@ let sub =
       ]
     ~locks:
       [
-        ("open", w [ "fs"; "fd:file" ]);
-        ("openat", w [ "fs"; "fd:file" ]);
-        ("close", w [ "fs"; "fd:file" ]);
+        (* open/openat/close allocate or retire fd payloads, but a
+           fresh payload is unreachable until the call returns, so
+           those allocations are not shared accesses and the lock
+           specs only claim the shared slots ("fs"). *)
+        ("open", w [ "fs" ]);
+        ("openat", w [ "fs" ]);
+        ("close", Lock.scoped [ "vfs_files"; "ep_mutex" ] ~touches:[ "fs" ]);
         ("read", w [ "fd:file" ]);
         ("write", w [ "fs"; "fd:file"; "fd:chr" ]);
         ("lseek", w [ "fd:file" ]);
@@ -1072,7 +1152,7 @@ let sub =
         ("link", w [ "fs" ]);
         ("unlink", w [ "fs" ]);
         ("mknod$chr", w [ "fs" ]);
-        ("open$chr", w [ "fs"; "fd:chr" ]);
+        ("open$chr", w [ "fs" ]);
         ("mmap", w [ "fd:file" ]);
         ("epoll_ctl$EPOLL_CTL_ADD", ep_spec);
         ("epoll_ctl$EPOLL_CTL_DEL", ep_spec);
@@ -1106,5 +1186,41 @@ let sub =
           applies = (function Chrfd _ -> true | _ -> false);
           run = chr_write;
         };
+      ]
+    ~effects:
+      (* Generic fd handlers (read/write/mmap/close) dispatch to other
+         subsystems' file ops, so their fd-payload effects are declared
+         with the "fd:*" wildcard rather than one slot per fd kind.
+         dup/fsync/munmap/epoll_create touch no shared slot and carry
+         no spec. *)
+      [
+        ("open", Effect.spec ~reads:[ "mounts" ] ~writes:[ "fs" ] ());
+        ("openat", Effect.spec ~writes:[ "fs" ] ());
+        ("close", Effect.spec ~reads:[ "fd:epoll" ] ~writes:[ "fs"; "fd:*" ] ());
+        ("read", Effect.spec ~reads:[ "fs" ] ~writes:[ "fd:*" ] ());
+        ("write", Effect.spec ~writes:[ "fs"; "fd:*" ] ());
+        ("lseek", Effect.spec ~reads:[ "fs" ] ~writes:[ "fd:*" ] ());
+        ("ftruncate", Effect.spec ~writes:[ "fs"; "fd:*" ] ());
+        ("fallocate", Effect.spec ~reads:[ "fd:file" ] ~writes:[ "fs" ] ());
+        ("fstat", Effect.spec ~reads:[ "fd:file" ] ~writes:[ "fs" ] ());
+        ("link", Effect.spec ~writes:[ "fs" ] ());
+        ("unlink", Effect.spec ~writes:[ "fs" ] ());
+        ("mknod$chr", Effect.spec ~writes:[ "fs" ] ());
+        ("open$chr", Effect.spec ~writes:[ "fs" ] ());
+        ("mmap", Effect.spec ~reads:[ "fd:chr" ] ~writes:[ "fd:*" ] ());
+        ("epoll_ctl$EPOLL_CTL_ADD", Effect.spec ~writes:[ "fd:epoll" ] ());
+        ("epoll_ctl$EPOLL_CTL_DEL", Effect.spec ~writes:[ "fd:epoll" ] ());
+        ("epoll_wait", Effect.spec ~writes:[ "fd:epoll" ] ());
+        ("pread", Effect.spec ~reads:[ "fs"; "fd:file" ] ());
+        ("pwrite", Effect.spec ~reads:[ "fd:file" ] ~writes:[ "fs" ] ());
+        ("mkdir", Effect.spec ~writes:[ "fs" ] ());
+        ("rmdir", Effect.spec ~writes:[ "fs" ] ());
+        ("rename", Effect.spec ~writes:[ "fs" ] ());
+        ("flock", Effect.spec ~reads:[ "fd:file" ] ~writes:[ "fs" ] ());
+        ("fcntl$GETFL", Effect.spec ~reads:[ "fd:file" ] ());
+        ("fcntl$SETFL", Effect.spec ~writes:[ "fd:file" ] ());
+        ("io_setup", Effect.spec ~writes:[ "fs" ] ());
+        ("io_submit", Effect.spec ~writes:[ "fs" ] ());
+        ("io_destroy", Effect.spec ~writes:[ "fs" ] ());
       ]
     ()

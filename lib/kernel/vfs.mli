@@ -19,6 +19,12 @@ type State.fd_kind += File of file
 
 val sub : Subsystem.t
 
+val vfs_files : Lock.cls
+(** The files_struct/inode lock class (guards ["fs"], ["fd:file"],
+    ["fd:chr"]). Exposed so subsystems reading the inode table from
+    outside — inotify's watch registration — can hold it and declare
+    the guarded read. *)
+
 val inode_size : State.t -> string -> int64 option
 (** Size of the inode at [path], if it exists. Exposed for tests. *)
 

@@ -136,6 +136,22 @@ let all : repro list =
             call "umount" [ s "/mnt/a" ];
             call "umount" [ s "/mnt/a" ];
           ]);
+    (* The two deliberately-unguarded fixture races (see the known-race
+       catalog in Effect): a write within the 2-tick dirty window, then
+       the lock-free read that trips KCSAN. *)
+    r ~v:V5_11 "packet_seq_show" (fun () ->
+        prog
+          [
+            call "socket$packet" [ i 17L; i 3L; i 768L ];
+            call "sendto$packet" [ Helpers.r 0; buf 64; iv 64; i 0L; ptr (s "lo") ];
+            call "socket$packet" [ i 17L; i 3L; i 768L ];
+          ]);
+    r ~v:V5_11 "legitimize_mnt" (fun () ->
+        prog
+          [
+            call "umount" [ s "/mnt/ext4" ];
+            call "open" [ s "/mnt/ext4"; i 0L; i 0L ];
+          ]);
     r ~v:V5_11 "dev_ioctl_warn" (fun () ->
         prog
           [

@@ -32,4 +32,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
       ("lockdep", Test_lockdep.suite);
+      ("effects", Test_effects.suite);
     ]

@@ -147,6 +147,39 @@ let test_guard_coverage_disjoint () =
   Alcotest.(check bool) "message says disjoint" true
     (contains f.Lock.msg "disjoint")
 
+(* Read-side coverage: a guarded slot read while holding no guarding
+   class warns too (the [?reads] extension feeding off effect specs).
+   Unguarded slots stay the race detector's domain — no class guards
+   them, so there is nothing to hold. *)
+let test_guard_coverage_read () =
+  let m =
+    model [ a () ]
+      [
+        ("s1", "h1", spec ~touches:[ "sa" ] [ "a" ]);
+        ("s2", "h2", spec [] (* lock-free reader *));
+      ]
+  in
+  let fs = Lock.check_model ~reads:[ ("s2", "h2", [ "sa" ]) ] m in
+  Alcotest.(check bool) "read coverage reported" true
+    (has "lock-guard-coverage" fs);
+  let f = find_f "lock-guard-coverage" fs in
+  Alcotest.(check string) "subject names the slot" "state slot \"sa\""
+    f.Lock.subject;
+  (* A reader holding the guarding class is clean... *)
+  let held =
+    model [ a () ]
+      [
+        ("s1", "h1", spec ~touches:[ "sa" ] [ "a" ]);
+        ("s2", "h2", spec [ "a" ]);
+      ]
+  in
+  Alcotest.(check int) "guarded read clean" 0
+    (List.length (Lock.check_model ~reads:[ ("s2", "h2", [ "sa" ]) ] held));
+  (* ... and so is reading a slot no class guards at all. *)
+  let m' = model [ a () ] [ ("s1", "h1", spec [ "a" ]) ] in
+  Alcotest.(check int) "unguarded slot ignored" 0
+    (List.length (Lock.check_model ~reads:[ ("s2", "h2", [ "sx" ]) ] m'))
+
 let test_unused_class () =
   let m = model [ a (); b () ] [ ("s", "h", spec [ "a" ]) ] in
   let fs = Lock.check_model m in
@@ -407,6 +440,7 @@ let suite =
     case "lock-order-cycle" test_order_cycle;
     case "lock-guard-coverage (unguarded)" test_guard_coverage_unguarded;
     case "lock-guard-coverage (disjoint)" test_guard_coverage_disjoint;
+    case "lock-guard-coverage (read side)" test_guard_coverage_read;
     case "lock-unused-class" test_unused_class;
     case "trace: clean" test_trace_clean;
     case "lock-spec-mismatch" test_trace_spec_mismatch;
