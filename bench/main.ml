@@ -848,6 +848,55 @@ let compiled_smoke () =
   Fmt.pr "  %-30s %11.1fx@." "exec-loop speedup" (ratio interp_loop comp_loop);
   Fmt.pr "  %-30s %11.1fx@." "execute-many speedup" (ratio interp_fresh warm)
 
+(* ---- sharded campaign scaling (fuzzing-as-a-service) ---- *)
+
+(* (jobs, wall seconds, execs, coverage, corpus, relation edges,
+   crashes) per shard count. *)
+let shard_results : (int * float * int * int * int * int * int) list ref =
+  ref []
+
+(* The serve path end to end: N shards, epoch-barrier CRDT merges.
+   Same total virtual budget per shard at every width, so the rows
+   show what adding shards buys (coverage, crashes) and costs (merge
+   overhead). The digest column makes nondeterminism across widths
+   immediately visible: same jobs, same digest, always. Runs the
+   in-process sequential oracle — Unix.fork is unavailable once the
+   prefetch has spawned domains — which the service test suite and the
+   @shard-smoke gate prove bit-identical to the forked path. *)
+let shard_smoke () =
+  section "Sharded campaign scaling (serve)";
+  let module S = Healer_service in
+  let epochs = 3 in
+  let slice = hours *. 3600.0 /. float_of_int epochs in
+  Fmt.pr "  %4s %9s %9s %7s %6s %8s %7s  %s@." "jobs" "execs" "coverage"
+    "corpus" "edges" "crashes" "wall-s" "digest";
+  List.iter
+    (fun jobs ->
+      let cfg =
+        {
+          S.Checkpoint.tool = Fuzzer.Healer;
+          version = K.Version.V5_11;
+          jobs;
+          base_seed = 1;
+          epochs;
+          slice;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let out = S.Coordinator.run ~forked:false (S.Coordinator.initial cfg) in
+      let dt = Unix.gettimeofday () -. t0 in
+      let st = out.S.Coordinator.final.S.Checkpoint.state in
+      let execs = S.Shard_state.total_execs st in
+      let cov = Healer_util.Bitset.count st.S.Shard_state.coverage in
+      let corp = List.length st.S.Shard_state.corpus in
+      let edges = Relation_table.count st.S.Shard_state.relations in
+      let crashes = List.length st.S.Shard_state.crashes in
+      Fmt.pr "  %4d %9d %9d %7d %6d %8d %7.2f  %s@." jobs execs cov corp edges
+        crashes dt (S.Shard_state.digest st);
+      shard_results :=
+        (jobs, dt, execs, cov, corp, edges, crashes) :: !shard_results)
+    [ 1; 2; 4 ]
+
 (* ---- main ---- *)
 
 let sections =
@@ -856,7 +905,7 @@ let sections =
     ("fig5", fig5); ("fig6", fig6); ("table4", table4); ("table5", table5);
     ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
     ("lockdep", lockdep_smoke); ("effects", effects_smoke);
-    ("compiled", compiled_smoke);
+    ("compiled", compiled_smoke); ("shard", shard_smoke);
   ]
 
 (* ---- machine-readable results (--json) ---- *)
@@ -909,6 +958,13 @@ let write_json ~jobs ~section_times () =
       s.Healer_executor.Exec_cache.compiled_calls
       s.Healer_executor.Exec_cache.reused_ccalls
   | None -> field "\"exec_cache\": null");
+  field "%s"
+    (obj_list "shard" (List.rev !shard_results)
+       (fun (jobs, dt, execs, cov, corp, edges, crashes) ->
+         Printf.sprintf
+           "{\"jobs\": %d, \"seconds\": %.3f, \"execs\": %d, \"coverage\": \
+            %d, \"corpus\": %d, \"relations\": %d, \"crashes\": %d}"
+           jobs dt execs cov corp edges crashes));
   field ~last:true "%s"
     (obj_list "micro" !micro_results (fun (name, ns) ->
          Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f}" name ns));

@@ -7,7 +7,10 @@
      relations learn relations for a while and dump the table
      compare   head-to-head campaign of two tools
      analyze   static analysis of the description corpus
-     lint      deprecated alias for a subset of analyze *)
+     lint      deprecated alias for a subset of analyze
+     serve     sharded multi-process campaign with checkpoint/resume
+     merge     CRDT-join two campaign checkpoints
+     shard-status  inspect (and compare) campaign checkpoints *)
 
 module Target = Healer_syzlang.Target
 module Syscall = Healer_syzlang.Syscall
@@ -62,6 +65,15 @@ let or_die f =
   try f () with
   | Persist.Corrupt msg ->
     Fmt.epr "error: corrupt state file (%s)@." msg;
+    exit 1
+  | Healer_service.Checkpoint.Malformed msg ->
+    Fmt.epr "error: corrupt checkpoint (%s)@." msg;
+    exit 1
+  | Healer_service.Shard_state.Malformed msg ->
+    Fmt.epr "error: corrupt campaign state (%s)@." msg;
+    exit 1
+  | Failure msg ->
+    Fmt.epr "error: %s@." msg;
     exit 1
   | Invalid_argument msg ->
     Fmt.epr "error: %s@." msg;
@@ -762,6 +774,242 @@ let lint_cmd =
           consumers.")
     Term.(const run_lint $ file_pos_arg)
 
+(* ---- fuzzing-as-a-service: serve / merge / shard-status ---- *)
+
+module Service = Healer_service
+
+let pp_shard_state ppf (s : Service.Shard_state.t) =
+  Fmt.pf ppf "  executions        %d@." (Service.Shard_state.total_execs s);
+  List.iter
+    (fun (shard, n) -> Fmt.pf ppf "    shard %-4d      %d@." shard n)
+    s.Service.Shard_state.execs;
+  Fmt.pf ppf "  branch coverage   %d@."
+    (Healer_util.Bitset.count s.Service.Shard_state.coverage);
+  Fmt.pf ppf "  corpus            %d programs@."
+    (List.length s.Service.Shard_state.corpus);
+  Fmt.pf ppf "  learned relations %d@."
+    (Relation_table.count s.Service.Shard_state.relations);
+  Fmt.pf ppf "  unique crashes    %d@."
+    (List.length s.Service.Shard_state.crashes);
+  List.iter
+    (fun (r : Triage.record) ->
+      Fmt.pf ppf "    %6.1fh  %-44s %-24s repro=%d calls@."
+        (r.Triage.first_found /. 3600.0)
+        r.Triage.bug_key
+        (K.Risk.to_string r.Triage.risk)
+        r.Triage.repro_len)
+    s.Service.Shard_state.crashes;
+  Fmt.pf ppf "  state digest      %s@." (Service.Shard_state.digest s)
+
+let run_serve tool version hours seed jobs epochs checkpoint resume no_fork
+    stop_after =
+  or_die @@ fun () ->
+  if jobs < 1 then failwith "--jobs must be at least 1";
+  if epochs < 1 then failwith "--epochs must be at least 1";
+  let ck =
+    if resume then begin
+      let dir =
+        match checkpoint with
+        | Some dir -> dir
+        | None -> failwith "--resume requires --checkpoint DIR"
+      in
+      let ck =
+        Service.Checkpoint.load (K.Kernel.target ())
+          ~path:(Service.Checkpoint.file dir)
+      in
+      Fmt.pr "resuming %s campaign at epoch %d/%d (%d jobs)@."
+        (Fuzzer.tool_name ck.Service.Checkpoint.config.Service.Checkpoint.tool)
+        ck.Service.Checkpoint.completed
+        ck.Service.Checkpoint.config.Service.Checkpoint.epochs
+        ck.Service.Checkpoint.config.Service.Checkpoint.jobs;
+      ck
+    end
+    else
+      Service.Coordinator.initial
+        {
+          Service.Checkpoint.tool;
+          version;
+          jobs;
+          base_seed = seed;
+          epochs;
+          slice = hours *. 3600.0;
+        }
+  in
+  let cfg = ck.Service.Checkpoint.config in
+  Fmt.pr "%s on Linux %s: %d shards x %d epochs x %.2f virtual hours (seed %d%s)@."
+    (Fuzzer.tool_name cfg.Service.Checkpoint.tool)
+    (K.Version.to_string cfg.Service.Checkpoint.version)
+    cfg.Service.Checkpoint.jobs cfg.Service.Checkpoint.epochs
+    (cfg.Service.Checkpoint.slice /. 3600.0)
+    cfg.Service.Checkpoint.base_seed
+    (if no_fork then ", sequential" else "");
+  let on_epoch (p : Service.Coordinator.progress) =
+    Fmt.pr "epoch %d/%d: coverage=%d corpus=%d relations=%d crashes=%d execs=%d@."
+      (p.Service.Coordinator.epoch + 1)
+      p.Service.Coordinator.epochs
+      (Healer_util.Bitset.count
+         p.Service.Coordinator.state.Service.Shard_state.coverage)
+      (List.length p.Service.Coordinator.state.Service.Shard_state.corpus)
+      (Relation_table.count
+         p.Service.Coordinator.state.Service.Shard_state.relations)
+      (List.length p.Service.Coordinator.state.Service.Shard_state.crashes)
+      (Service.Shard_state.total_execs p.Service.Coordinator.state)
+  in
+  let outcome =
+    Service.Coordinator.run ~forked:(not no_fork)
+      ?checkpoint_dir:checkpoint ?stop_after ~on_epoch ck
+  in
+  let final = outcome.Service.Coordinator.final in
+  if final.Service.Checkpoint.completed
+     < final.Service.Checkpoint.config.Service.Checkpoint.epochs
+  then
+    Fmt.pr "stopped after epoch %d/%d (resume with --resume)@."
+      final.Service.Checkpoint.completed
+      final.Service.Checkpoint.config.Service.Checkpoint.epochs;
+  if outcome.Service.Coordinator.respawns > 0 then
+    Fmt.pr "worker deaths recovered: %d@." outcome.Service.Coordinator.respawns;
+  Fmt.pr "%a" pp_shard_state final.Service.Checkpoint.state
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "checkpoint" ] ~docv:"DIR"
+        ~doc:"Campaign directory; the checkpoint is written (atomically) \
+              after every epoch.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a sharded fuzzing campaign: one worker process per shard, \
+          epoch-barrier synchronization of relations, coverage, corpus and \
+          crashes via CRDT merge, durable checkpoints, automatic respawn of \
+          dead workers. $(b,--hours) is the virtual time each shard fuzzes \
+          per epoch.")
+    Term.(
+      const run_serve $ tool_arg $ version_arg
+      $ Arg.(
+          value
+          & opt float 0.25
+          & info [ "H"; "hours" ] ~docv:"HOURS"
+              ~doc:"Virtual hours each shard fuzzes per epoch.")
+      $ seed_arg
+      $ Arg.(
+          value & opt int 2
+          & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker shards.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "e"; "epochs" ] ~docv:"N" ~doc:"Synchronization rounds.")
+      $ checkpoint_arg
+      $ Arg.(
+          value & flag
+          & info [ "resume" ]
+              ~doc:
+                "Continue from the checkpoint in $(b,--checkpoint) (its \
+                 recorded configuration wins over the command line).")
+      $ Arg.(
+          value & flag
+          & info [ "no-fork" ]
+              ~doc:
+                "Compute every shard in-process (same results as forked \
+                 mode, bit for bit).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "stop-after-epoch" ] ~docv:"N"
+              ~doc:
+                "Shut down cleanly once N epochs have completed — simulates \
+                 an interrupted daemon for resume testing."))
+
+let run_merge a b output =
+  or_die @@ fun () ->
+  let target = K.Kernel.target () in
+  let ca = Service.Checkpoint.load target ~path:a in
+  let cb = Service.Checkpoint.load target ~path:b in
+  let m = Service.Checkpoint.merge ca cb in
+  Persist.write_atomic ~path:output (Service.Checkpoint.to_string m);
+  Fmt.pr "merged %s + %s -> %s@." a b output;
+  Fmt.pr "  digest %s@."
+    (Service.Shard_state.digest m.Service.Checkpoint.state)
+
+let merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "CRDT-join two campaign checkpoints into one: relation edges, \
+          coverage and corpus union; earliest crash record per signature; \
+          pointwise-max execution counters. Commutative, associative and \
+          idempotent, so any merge order (or re-merge) yields the same \
+          bytes.")
+    Term.(
+      const run_merge
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"A" ~doc:"First checkpoint (file or campaign dir).")
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"B" ~doc:"Second checkpoint (file or campaign dir).")
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Merged checkpoint file."))
+
+let run_shard_status path equal =
+  or_die @@ fun () ->
+  let target = K.Kernel.target () in
+  let ck = Service.Checkpoint.load target ~path in
+  let cfg = ck.Service.Checkpoint.config in
+  Fmt.pr "%s: %s on Linux %s, %d shards, epoch %d/%d, slice %.2fh, seed %d@."
+    path
+    (Fuzzer.tool_name cfg.Service.Checkpoint.tool)
+    (K.Version.to_string cfg.Service.Checkpoint.version)
+    cfg.Service.Checkpoint.jobs ck.Service.Checkpoint.completed
+    cfg.Service.Checkpoint.epochs
+    (cfg.Service.Checkpoint.slice /. 3600.0)
+    cfg.Service.Checkpoint.base_seed;
+  Fmt.pr "%a" pp_shard_state ck.Service.Checkpoint.state;
+  match equal with
+  | None -> ()
+  | Some other ->
+    let co = Service.Checkpoint.load target ~path:other in
+    if
+      Service.Shard_state.equal ck.Service.Checkpoint.state
+        co.Service.Checkpoint.state
+      && ck.Service.Checkpoint.completed = co.Service.Checkpoint.completed
+    then Fmt.pr "states are identical@."
+    else begin
+      Fmt.epr "error: states differ: %s (epoch %d, digest %s) vs %s (epoch %d, digest %s)@."
+        path ck.Service.Checkpoint.completed
+        (Service.Shard_state.digest ck.Service.Checkpoint.state)
+        other co.Service.Checkpoint.completed
+        (Service.Shard_state.digest co.Service.Checkpoint.state);
+      exit 1
+    end
+
+let shard_status_cmd =
+  Cmd.v
+    (Cmd.info "shard-status"
+       ~doc:
+         "Print a campaign checkpoint: configuration, progress, per-shard \
+          execution counters, merged coverage/corpus/relations/crashes and \
+          the canonical state digest. With $(b,--equal), exit non-zero \
+          unless the other checkpoint holds the bit-identical merged state \
+          (the sharding determinism oracle).")
+    Term.(
+      const run_shard_status
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"PATH" ~doc:"Checkpoint file or campaign dir.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "equal" ] ~docv:"OTHER"
+              ~doc:"Compare against another checkpoint's merged state."))
+
 let () =
   let info =
     Cmd.info "healer" ~version:"1.0.0"
@@ -772,5 +1020,5 @@ let () =
        (Cmd.group info
           [
             fuzz_cmd; target_cmd; bugs_cmd; relations_cmd; compare_cmd;
-            analyze_cmd; lint_cmd;
+            analyze_cmd; lint_cmd; serve_cmd; merge_cmd; shard_status_cmd;
           ]))

@@ -148,15 +148,6 @@ let average_series runs =
       (Array.to_list times)
 
 let merge_crashes runs =
-  let best : (string, Triage.record) Hashtbl.t = Hashtbl.create 32 in
-  List.iter
-    (fun run ->
-      List.iter
-        (fun (r : Triage.record) ->
-          match Hashtbl.find_opt best r.Triage.bug_key with
-          | Some prev when prev.Triage.first_found <= r.Triage.first_found -> ()
-          | Some _ | None -> Hashtbl.replace best r.Triage.bug_key r)
-        run.crashes)
-    runs;
-  Hashtbl.fold (fun _ r acc -> r :: acc) best []
-  |> List.sort (fun a b -> Float.compare a.Triage.first_found b.Triage.first_found)
+  Triage.merge_records_by
+    ~key:(fun r -> r.Triage.bug_key)
+    (List.map (fun run -> run.crashes) runs)

@@ -89,4 +89,6 @@ val average_series : run list -> (float * float) list
 (** Point-wise average of the runs' coverage samples (Figure 4). *)
 
 val merge_crashes : run list -> Triage.record list
-(** Union by bug key, earliest first_found wins. *)
+(** Union by bug key via {!Triage.merge_records_by}: earliest
+    first_found wins, with deterministic tie-breaks, so the result is
+    independent of the order runs are listed in. *)

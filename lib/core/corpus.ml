@@ -39,6 +39,14 @@ let add t prog ~new_blocks =
 let size t = t.count
 let is_empty t = t.count = 0
 
+let merge_into ~dst src =
+  let fresh = ref 0 in
+  for i = 0 to src.count - 1 do
+    let e = src.entries.(i) in
+    if add dst e.prog ~new_blocks:e.weight then incr fresh
+  done;
+  !fresh
+
 let pick rng t =
   if t.count = 0 then None
   else begin

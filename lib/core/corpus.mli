@@ -13,7 +13,17 @@ val add : t -> Healer_executor.Prog.t -> new_blocks:int -> bool
     rejected. *)
 
 val size : t -> int
+
 val is_empty : t -> bool
+
+val merge_into : dst:t -> t -> int
+(** Union [src]'s entries into [dst], deduplicating by serialized
+    form and preserving each entry's seed-selection weight; returns
+    how many programs were new. As a set of programs the corpus is
+    grow-only, so this is a CRDT join (commutative, associative,
+    idempotent, empty-corpus identity) — shard corpora can merge in
+    any order. *)
+
 val pick : Healer_util.Rng.t -> t -> Healer_executor.Prog.t option
 val lengths : t -> int list
 

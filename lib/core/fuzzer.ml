@@ -309,6 +309,7 @@ let run_until t until =
 
 let now t = Vclock.now t.clock
 let coverage t = Feedback.coverage t.feedback
+let coverage_set t = Feedback.seen t.feedback
 let execs t = t.n_execs
 let corpus t = t.corp
 let triage t = t.tri

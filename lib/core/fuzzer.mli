@@ -87,6 +87,12 @@ val run_until : t -> float -> unit
 
 val now : t -> float
 val coverage : t -> int
+
+val coverage_set : t -> Healer_util.Bitset.t
+(** The live global-coverage bitmap (covered branch ids). Callers
+    must treat it as read-only; shard workers copy it into their
+    outgoing deltas. *)
+
 val execs : t -> int
 val corpus : t -> Corpus.t
 val triage : t -> Triage.t

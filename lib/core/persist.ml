@@ -25,7 +25,10 @@ let corpus_of_string target s =
   (try
      while !pos < n do
        let len = Int64.to_int (Serializer.get_uvarint s pos) in
-       if len < 0 || !pos + len > n then raise (Corrupt "truncated entry");
+       (* [len > n - !pos] rather than [!pos + len > n]: a hostile
+          varint near [max_int] would overflow the addition and slip
+          past the bound. *)
+       if len < 0 || len > n - !pos then raise (Corrupt "truncated entry");
        let entry = String.sub s !pos len in
        pos := !pos + len;
        progs := Serializer.decode target entry :: !progs
@@ -33,11 +36,22 @@ let corpus_of_string target s =
    with Serializer.Malformed msg -> raise (Corrupt msg));
   List.rev !progs
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* All persisted state goes through write-to-temp-then-rename: a crash
+   mid-write leaves the previous file intact (the temp is garbage the
+   next writer overwrites), never a truncated archive. [Sys.rename] is
+   atomic within a filesystem and the temp lives next to the target. *)
+let write_atomic ~path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let write_file path contents = write_atomic ~path contents
 
 let read_file path =
   let ic = open_in_bin path in
@@ -48,4 +62,7 @@ let read_file path =
 let save_corpus ~path progs = write_file path (corpus_to_string progs)
 let load_corpus target ~path = corpus_of_string target (read_file path)
 let save_relations ~path table = write_file path (Relation_table.serialize table)
-let load_relations ~path = Relation_table.deserialize (read_file path)
+
+let load_relations ~path =
+  try Relation_table.deserialize (read_file path)
+  with Relation_table.Malformed msg -> raise (Corrupt msg)

@@ -13,8 +13,17 @@ val corpus_of_string :
   Healer_syzlang.Target.t -> string -> Healer_executor.Prog.t list
 (** Raises {!Corrupt} on malformed archives. *)
 
+val write_atomic : path:string -> string -> unit
+(** Write-to-temp-then-rename: a crash mid-write can never leave a
+    truncated file at [path] — the previous contents survive. Every
+    state-persisting path (corpus archives, relation files, campaign
+    checkpoints) writes through this. *)
+
 val save_corpus : path:string -> Healer_executor.Prog.t list -> unit
 val load_corpus : Healer_syzlang.Target.t -> path:string -> Healer_executor.Prog.t list
 
 val save_relations : path:string -> Relation_table.t -> unit
+
 val load_relations : path:string -> Relation_table.t
+(** Raises {!Corrupt} on malformed relation files (mapped from
+    {!Relation_table.Malformed}). *)

@@ -75,6 +75,11 @@ let merge_into ~dst src =
     src.succ;
   !fresh
 
+let merge a b =
+  let t = copy a in
+  ignore (merge_into ~dst:t b);
+  t
+
 let out_degree t i =
   check t i 0;
   List.length t.succ.(i)
@@ -87,24 +92,39 @@ let serialize t =
     (edges t);
   Buffer.contents buf
 
+exception Malformed of string
+
+(* Relation files and checkpoints can arrive truncated or corrupt (a
+   crash mid-write, a bad copy): every malformed shape must surface as
+   the typed {!Malformed}, never as a confusing [Scanf]/allocation
+   failure. The size cap bounds the [create] allocation a hostile
+   header could otherwise demand. *)
+let max_size = 65_536
+
 let deserialize s =
   match String.split_on_char '\n' s with
   | header :: rest -> (
     match Scanf.sscanf_opt header "healer-relations %d" (fun n -> n) with
-    | None -> invalid_arg "Relation_table.deserialize: bad header"
+    | None -> raise (Malformed "bad header (expected 'healer-relations <n>')")
+    | Some n when n <= 0 || n > max_size ->
+      raise (Malformed (Printf.sprintf "implausible table size %d" n))
     | Some n ->
       let t = create n in
       List.iter
         (fun line ->
           if String.trim line <> "" then
-            match Scanf.sscanf_opt line "%d %d" (fun i j -> (i, j)) with
-            | Some (i, j) when i >= 0 && i < n && j >= 0 && j < n ->
+            match Scanf.sscanf_opt line " %d %d %s" (fun i j rest -> (i, j, rest)) with
+            | Some (i, j, "") when i >= 0 && i < n && j >= 0 && j < n ->
               ignore (set t i j)
+            | Some (i, j, "") ->
+              raise
+                (Malformed
+                   (Printf.sprintf "pair (%d, %d) out of range for size %d" i j n))
             | Some _ | None ->
-              invalid_arg "Relation_table.deserialize: bad pair")
+              raise (Malformed (Printf.sprintf "bad pair line %S" line)))
         rest;
       t)
-  | [] -> invalid_arg "Relation_table.deserialize: empty"
+  | [] -> raise (Malformed "empty input")
 
 let pp_stats ppf t =
   let nonzero = Array.fold_left (fun acc l -> if l = [] then acc else acc + 1) 0 t.succ in

@@ -39,6 +39,12 @@ val copy : t -> t
 val merge_into : dst:t -> t -> int
 (** Union [src] into [dst]; returns how many entries were new. *)
 
+val merge : t -> t -> t
+(** Pure union into a fresh table (neither input is mutated). The
+    relation table is a grow-only set of edges, so this is a CRDT
+    join: commutative, associative, idempotent, with the empty table
+    as identity. Raises [Invalid_argument] on size mismatch. *)
+
 val out_degree : t -> int -> int
 
 val pp_stats : Format.formatter -> t -> unit
@@ -51,6 +57,10 @@ val pp_stats : Format.formatter -> t -> unit
 
 val serialize : t -> string
 
+exception Malformed of string
+(** Raised by {!deserialize} on any malformed input: bad header,
+    unparsable or out-of-range pair, or an implausible table size
+    (checkpoint/resume can feed it files cut off mid-write). *)
+
 val deserialize : string -> t
-(** Raises [Invalid_argument] on malformed input or out-of-range
-    pairs. *)
+(** Raises {!Malformed} on malformed input. *)

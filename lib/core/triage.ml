@@ -75,5 +75,38 @@ let on_crash t ~vtime p (report : Crash.report) =
 let unique_count t = Hashtbl.length t.table
 let records t = List.rev t.order
 
+(* Winner per dedup key, independent of the order records are merged
+   in: earliest discovery, then smallest reproducer, with the encoded
+   program and bug key as total-order tie-breaks. *)
+let keeps a b =
+  let c = Float.compare a.first_found b.first_found in
+  if c <> 0 then c < 0
+  else
+    let c = compare a.repro_len b.repro_len in
+    if c <> 0 then c < 0
+    else
+      let c =
+        String.compare
+          (Healer_executor.Serializer.encode a.reproducer)
+          (Healer_executor.Serializer.encode b.reproducer)
+      in
+      if c <> 0 then c < 0 else String.compare a.bug_key b.bug_key <= 0
+
+let merge_records_by ~key lists =
+  let best : (string, record) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun r ->
+         let k = key r in
+         match Hashtbl.find_opt best k with
+         | Some prev when keeps prev r -> ()
+         | Some _ | None -> Hashtbl.replace best k r))
+    lists;
+  Hashtbl.fold (fun _ r acc -> r :: acc) best []
+  |> List.sort (fun a b ->
+         let c = Float.compare a.first_found b.first_found in
+         if c <> 0 then c else String.compare a.signature b.signature)
+
+let merge_records = merge_records_by ~key:(fun r -> r.signature)
+
 let found t bug_key =
   List.find_opt (fun r -> String.equal r.bug_key bug_key) (records t)

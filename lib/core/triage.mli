@@ -35,6 +35,18 @@ val unique_count : t -> int
 val records : t -> record list
 (** Sorted by first_found. *)
 
+val merge_records_by :
+  key:(record -> string) -> record list list -> record list
+(** Union record lists keeping one record per [key]: the earliest
+    [first_found] wins, ties broken by smallest reproducer, then its
+    encoding, then [bug_key] — a total order, so the result is
+    independent of merge order (commutative, associative, idempotent).
+    Sorted by [(first_found, signature)]. *)
+
+val merge_records : record list list -> record list
+(** {!merge_records_by} keyed on the triage [signature] — the dedup
+    unit sharded campaign coordinators union across workers. *)
+
 val found : t -> string -> record option
 (** Lookup by bug key. *)
 

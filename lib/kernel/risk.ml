@@ -28,6 +28,14 @@ let to_string = function
   | Kernel_bug -> "kernel bug"
   | Inconsistent_lock_state -> "inconsistent lock state"
 
+let all =
+  [
+    Data_race; Use_after_free; Out_of_bounds; Null_ptr_deref; Memory_leak;
+    Uninit_value; Deadlock; Refcount_bug; General_protection_fault;
+    Paging_fault; Divide_error; Kernel_bug; Inconsistent_lock_state;
+  ]
+
+let of_string s = List.find_opt (fun r -> String.equal (to_string r) s) all
 let pp ppf r = Fmt.string ppf (to_string r)
 
 let is_memory_error = function

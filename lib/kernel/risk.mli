@@ -16,7 +16,15 @@ type t =
   | Kernel_bug  (** BUG()/assertion failures. *)
   | Inconsistent_lock_state
 
+val all : t list
+(** Every class, in declaration order. *)
+
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] for unknown class names (used when
+    decoding persisted crash records). *)
+
 val pp : Format.formatter -> t -> unit
 
 val is_memory_error : t -> bool

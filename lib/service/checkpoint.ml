@@ -1,0 +1,115 @@
+module Fuzzer = Healer_core.Fuzzer
+module Persist = Healer_core.Persist
+module Version = Healer_kernel.Version
+
+exception Malformed of string
+
+type config = {
+  tool : Fuzzer.tool;
+  version : Version.t;
+  jobs : int;
+  base_seed : int;
+  epochs : int;
+  slice : float;
+}
+
+type t = { config : config; completed : int; state : Shard_state.t }
+
+let magic = "HLRCKP"
+let format_version = '\001'
+let file dir = Filename.concat dir "healer.ckpt"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf format_version;
+  Wire.put_str buf (Fuzzer.tool_name t.config.tool);
+  Wire.put_str buf (Version.to_string t.config.version);
+  Wire.put_int buf t.config.jobs;
+  Wire.put_int buf t.config.base_seed;
+  Wire.put_int buf t.config.epochs;
+  Wire.put_float buf t.config.slice;
+  Wire.put_int buf t.completed;
+  Buffer.add_string buf (Shard_state.to_string t.state);
+  Buffer.contents buf
+
+let tool_of_name name =
+  List.find_opt
+    (fun t -> String.equal (Fuzzer.tool_name t) name)
+    Fuzzer.all_tools
+
+let of_string target s =
+  let wrap f =
+    try f () with
+    | Wire.Malformed msg -> raise (Malformed msg)
+    | Shard_state.Malformed msg -> raise (Malformed msg)
+  in
+  wrap @@ fun () ->
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 || not (String.equal (String.sub s 0 mlen) magic)
+  then raise (Malformed "bad checkpoint magic");
+  if s.[mlen] <> format_version then
+    raise
+      (Malformed
+         (Printf.sprintf "unsupported checkpoint format version %d"
+            (Char.code s.[mlen])));
+  let pos = ref (mlen + 1) in
+  let tool_name = Wire.get_str s pos in
+  let tool =
+    match tool_of_name tool_name with
+    | Some t -> t
+    | None -> raise (Malformed (Printf.sprintf "unknown tool %S" tool_name))
+  in
+  let version_name = Wire.get_str s pos in
+  let version =
+    match Version.of_string version_name with
+    | Some v -> v
+    | None ->
+      raise (Malformed (Printf.sprintf "unknown kernel version %S" version_name))
+  in
+  let jobs = Wire.get_int s pos in
+  let base_seed = Wire.get_int s pos in
+  let epochs = Wire.get_int s pos in
+  let slice = Wire.get_float s pos in
+  let completed = Wire.get_int s pos in
+  if jobs < 1 || epochs < 0 || completed < 0 || completed > epochs then
+    raise (Malformed "implausible campaign configuration");
+  let state = Shard_state.of_string target (Wire.get_all s pos) in
+  { config = { tool; version; jobs; base_seed; epochs; slice }; completed; state }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir t =
+  mkdir_p dir;
+  Persist.write_atomic ~path:(file dir) (to_string t)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load target ~path =
+  let path =
+    if Sys.file_exists path && Sys.is_directory path then file path else path
+  in
+  of_string target (read_file path)
+
+let merge a b =
+  if a.config.tool <> b.config.tool || a.config.version <> b.config.version then
+    invalid_arg "Checkpoint.merge: campaigns disagree on tool or kernel";
+  {
+    config =
+      {
+        a.config with
+        jobs = max a.config.jobs b.config.jobs;
+        epochs = max a.config.epochs b.config.epochs;
+      };
+    completed = max a.completed b.completed;
+    state = Shard_state.merge a.state b.state;
+  }

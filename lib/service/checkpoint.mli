@@ -1,0 +1,50 @@
+(** Durable campaign state: the coordinator's merged {!Shard_state}
+    plus the campaign configuration and progress, written atomically
+    (temp file + rename via {!Healer_core.Persist.write_atomic}) after
+    every epoch so a [healer serve] daemon can be killed at any point
+    and resume without losing learned relations.
+
+    On-disk format: the magic ["HLRCKP"], one version byte (forward
+    compatibility: loaders reject versions they do not understand
+    instead of misparsing), the configuration, the number of completed
+    epochs, then the canonical state blob. *)
+
+exception Malformed of string
+(** Truncated or corrupt checkpoint files (including unsupported
+    format versions). *)
+
+type config = {
+  tool : Healer_core.Fuzzer.tool;
+  version : Healer_kernel.Version.t;
+  jobs : int;  (** Worker shards. *)
+  base_seed : int;
+  epochs : int;  (** Planned sync rounds. *)
+  slice : float;  (** Virtual seconds each shard fuzzes per epoch. *)
+}
+
+type t = { config : config; completed : int; state : Shard_state.t }
+
+val file : string -> string
+(** [file dir] is the checkpoint file inside a campaign directory. *)
+
+val to_string : t -> string
+
+val of_string : Healer_syzlang.Target.t -> string -> t
+(** Raises {!Malformed}. *)
+
+val save : dir:string -> t -> unit
+(** Creates [dir] if needed; the write is atomic. *)
+
+val load : Healer_syzlang.Target.t -> path:string -> t
+(** [path] may be the campaign directory or the checkpoint file
+    itself. Raises {!Malformed} on corrupt contents, [Sys_error] when
+    unreadable. *)
+
+val merge : t -> t -> t
+(** CRDT join of two checkpoints of the same campaign lineage: states
+    merge, [completed] takes the max, the configuration must agree on
+    tool/version (raises [Invalid_argument] otherwise); [jobs] and
+    [epochs] take the max so a widened campaign keeps its history.
+    The remaining scalar config fields ([base_seed], [slice]) keep the
+    left operand's values — merging checkpoints of the {e same}
+    campaign (the intended use) is fully commutative. *)

@@ -1,0 +1,229 @@
+module Kernel = Healer_kernel.Kernel
+
+let initial (config : Checkpoint.config) =
+  {
+    Checkpoint.config;
+    completed = 0;
+    state = Shard_state.of_target (Kernel.target ());
+  }
+
+type progress = { epoch : int; epochs : int; state : Shard_state.t }
+type outcome = { final : Checkpoint.t; respawns : int }
+
+(* A worker connection: both pipe ends plus the child pid. *)
+type handle = { pid : int; to_w : Unix.file_descr; from_w : Unix.file_descr }
+
+(* A worker that dies deterministically would otherwise respawn
+   forever; cap recoveries per shard per epoch and give up loudly. *)
+let max_respawns_per_epoch = 8
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let spawn cfg handles ~shard =
+  let to_w_r, to_w_w = Unix.pipe ~cloexec:false () in
+  let from_w_r, from_w_w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    (* EOF-based death detection only works if no other process holds
+       a duplicate of a worker's pipe ends, so the child drops every
+       fd inherited from previously spawned siblings. *)
+    Array.iter
+      (fun h ->
+        match h with
+        | Some { to_w; from_w; _ } ->
+          (try Unix.close to_w with Unix.Unix_error _ -> ());
+          (try Unix.close from_w with Unix.Unix_error _ -> ())
+        | None -> ())
+      handles;
+    Unix.close to_w_w;
+    Unix.close from_w_r;
+    (try Worker.serve cfg ~shard ~input:to_w_r ~output:from_w_w
+     with _ -> Unix._exit 3)
+  | pid ->
+    Unix.close to_w_r;
+    Unix.close from_w_w;
+    { pid; to_w = to_w_w; from_w = from_w_r }
+
+let bury h =
+  (try Unix.close h.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close h.from_w with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] h.pid) with Unix.Unix_error _ -> ()
+
+let shutdown handles =
+  Array.iter
+    (function
+      | Some h ->
+        (try Wire.send_frame h.to_w Wire.Quit ""
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        bury h
+      | None -> ())
+    handles
+
+let epoch_payload ~epoch state_blob =
+  let buf = Buffer.create (String.length state_blob + 8) in
+  Wire.put_int buf epoch;
+  Buffer.add_string buf state_blob;
+  Buffer.contents buf
+
+let save_opt checkpoint_dir ck =
+  match checkpoint_dir with
+  | Some dir -> Checkpoint.save ~dir ck
+  | None -> ()
+
+let run_forked ?checkpoint_dir ?on_epoch ?chaos (ck : Checkpoint.t) ~until =
+  Lazy.force ignore_sigpipe;
+  (* Initialize every lazy kernel registry before forking: children
+     must never race to build shared tables they'd then diverge on. *)
+  Kernel.force_init ();
+  let target = Kernel.target () in
+  let cfg = ck.config in
+  let jobs = cfg.jobs in
+  let handles : handle option array = Array.make jobs None in
+  let respawns = ref 0 in
+  let respawn ~shard ~epoch_budget =
+    (match handles.(shard) with Some h -> bury h | None -> ());
+    handles.(shard) <- None;
+    incr respawns;
+    decr epoch_budget;
+    if !epoch_budget < 0 then
+      failwith
+        (Printf.sprintf "shard %d died %d times in one epoch; giving up" shard
+           max_respawns_per_epoch);
+    handles.(shard) <- Some (spawn cfg handles ~shard)
+  in
+  let get_handle shard =
+    match handles.(shard) with Some h -> h | None -> assert false
+  in
+  let ck = ref ck in
+  Fun.protect
+    ~finally:(fun () -> shutdown handles)
+    (fun () ->
+      for shard = 0 to jobs - 1 do
+        handles.(shard) <- Some (spawn cfg handles ~shard)
+      done;
+      save_opt checkpoint_dir !ck;
+      while !ck.completed < until do
+        let epoch = !ck.completed in
+        let epoch_budget = ref max_respawns_per_epoch in
+        let payload =
+          epoch_payload ~epoch (Shard_state.to_string !ck.state)
+        in
+        let send shard =
+          let rec attempt () =
+            try Wire.send_frame (get_handle shard).to_w Wire.Epoch payload
+            with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+              respawn ~shard ~epoch_budget;
+              attempt ()
+          in
+          attempt ()
+        in
+        for shard = 0 to jobs - 1 do
+          send shard
+        done;
+        (match chaos with
+        | Some f ->
+          f ~epoch
+            (List.init jobs (fun shard -> (shard, (get_handle shard).pid)))
+        | None -> ());
+        (* Collect one delta per shard, re-sending to respawned workers
+           as deaths are detected. *)
+        let pending = Array.make jobs true in
+        let n_pending = ref jobs in
+        let deltas = Array.make jobs None in
+        while !n_pending > 0 do
+          let fds =
+            List.filter_map
+              (fun shard ->
+                if pending.(shard) then Some (get_handle shard).from_w
+                else None)
+              (List.init jobs Fun.id)
+          in
+          let readable, _, _ =
+            try Unix.select fds [] [] (-1.0)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              let shard =
+                let found = ref (-1) in
+                Array.iteri
+                  (fun i h ->
+                    match h with
+                    | Some h when h.from_w = fd -> found := i
+                    | _ -> ())
+                  handles;
+                !found
+              in
+              if shard >= 0 && pending.(shard) then
+                match Wire.recv_frame fd with
+                | Wire.Delta, payload -> (
+                  match Shard_state.delta_of_string target payload with
+                  | d
+                    when d.Shard_state.epoch = epoch
+                         && d.Shard_state.shard = shard ->
+                    deltas.(shard) <- Some d;
+                    pending.(shard) <- false;
+                    decr n_pending
+                  | _ -> () (* stale delta from a pre-respawn epoch *)
+                  | exception Shard_state.Malformed _ ->
+                    respawn ~shard ~epoch_budget;
+                    send shard)
+                | (Wire.Epoch | Wire.Quit), _ ->
+                  respawn ~shard ~epoch_budget;
+                  send shard
+                | exception (End_of_file | Wire.Malformed _) ->
+                  respawn ~shard ~epoch_budget;
+                  send shard)
+            readable
+        done;
+        let state =
+          Array.fold_left
+            (fun acc d ->
+              match d with
+              | Some d -> Shard_state.apply acc d
+              | None -> acc)
+            !ck.state deltas
+        in
+        ck := { !ck with completed = epoch + 1; state };
+        save_opt checkpoint_dir !ck;
+        match on_epoch with
+        | Some f -> f { epoch; epochs = cfg.epochs; state }
+        | None -> ()
+      done;
+      { final = !ck; respawns = !respawns })
+
+let run_sequential ?checkpoint_dir ?on_epoch (ck : Checkpoint.t) ~until =
+  Kernel.force_init ();
+  let cfg = ck.config in
+  let ck = ref ck in
+  save_opt checkpoint_dir !ck;
+  while !ck.completed < until do
+    let epoch = !ck.completed in
+    let snapshot = !ck.state in
+    (* Every shard fuzzes against the same epoch-start snapshot —
+       exactly what the forked workers see — then the deltas fold. *)
+    let deltas =
+      List.init cfg.jobs (fun shard ->
+          Worker.run_epoch cfg ~shard ~epoch snapshot)
+    in
+    let state = List.fold_left Shard_state.apply snapshot deltas in
+    ck := { !ck with completed = epoch + 1; state };
+    save_opt checkpoint_dir !ck;
+    match on_epoch with
+    | Some f -> f { epoch; epochs = cfg.epochs; state }
+    | None -> ()
+  done;
+  { final = !ck; respawns = 0 }
+
+let run ?(forked = true) ?checkpoint_dir ?stop_after ?on_epoch ?chaos
+    (ck : Checkpoint.t) =
+  let until =
+    match stop_after with
+    | Some n -> min n ck.config.epochs
+    | None -> ck.config.epochs
+  in
+  if forked then run_forked ?checkpoint_dir ?on_epoch ?chaos ck ~until
+  else run_sequential ?checkpoint_dir ?on_epoch ck ~until

@@ -1,0 +1,46 @@
+(** The campaign coordinator: drives N worker shards through
+    epoch-barrier rounds, folds their deltas into the merged CRDT
+    state, checkpoints after every epoch, and respawns workers that
+    die mid-epoch.
+
+    Per epoch the coordinator broadcasts the merged state to every
+    shard, then collects one delta per shard (multiplexing with
+    [select]); a dead worker — EOF, [EPIPE], or a garbled frame — is
+    buried (fds closed, zombie reaped) and respawned, and the epoch
+    frame is re-sent. Because workers are restartable per epoch
+    ({!Worker.run_epoch} is pure), the respawned worker reproduces the
+    exact delta the dead one would have sent, so crashes never perturb
+    campaign results. *)
+
+val initial : Checkpoint.config -> Checkpoint.t
+(** A fresh zero-epoch checkpoint for the booted kernel target. *)
+
+type progress = { epoch : int; epochs : int; state : Shard_state.t }
+
+type outcome = {
+  final : Checkpoint.t;
+  respawns : int;  (** Worker deaths recovered from. *)
+}
+
+val run :
+  ?forked:bool ->
+  ?checkpoint_dir:string ->
+  ?stop_after:int ->
+  ?on_epoch:(progress -> unit) ->
+  ?chaos:(epoch:int -> (int * int) list -> unit) ->
+  Checkpoint.t ->
+  outcome
+(** Run the campaign from [ck.completed] up to [ck.config.epochs]
+    (or [stop_after], for simulating an interrupted daemon — workers
+    are still shut down cleanly).
+
+    [forked] (default true) forks one OS process per shard talking
+    the {!Wire} protocol over pipes; when false every shard's epoch is
+    computed in-process against the same epoch-start snapshot, which
+    produces bit-identical results — the test suite's oracle.
+
+    [checkpoint_dir] persists the checkpoint atomically at start and
+    after every epoch. [on_epoch] observes each completed epoch.
+    [chaos] (tests only) is called after the epoch broadcast with the
+    live [(shard, pid)] list so tests can [kill] workers mid-epoch and
+    exercise the respawn path. *)

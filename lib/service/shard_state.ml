@@ -1,0 +1,241 @@
+module Bitset = Healer_util.Bitset
+module Prog = Healer_executor.Prog
+module Serializer = Healer_executor.Serializer
+module Target = Healer_syzlang.Target
+module Risk = Healer_kernel.Risk
+module Relation_table = Healer_core.Relation_table
+module Triage = Healer_core.Triage
+
+exception Malformed of string
+
+type t = {
+  n_syscalls : int;
+  relations : Relation_table.t;
+  coverage : Bitset.t;
+  corpus : (string * Prog.t) list;
+  crashes : Triage.record list;
+  execs : (int * int) list;
+}
+
+let empty ~n_syscalls =
+  {
+    n_syscalls;
+    relations = Relation_table.create n_syscalls;
+    coverage = Bitset.create ();
+    corpus = [];
+    crashes = [];
+    execs = [];
+  }
+
+let of_target target = empty ~n_syscalls:(Target.n_syscalls target)
+
+(* Canonical component orders: corpus by serialized key, crashes by
+   signature (their dedup unit), counters by shard. *)
+let sort_corpus c =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) c
+
+let sort_crashes cs =
+  List.sort
+    (fun (a : Triage.record) b -> String.compare a.Triage.signature b.Triage.signature)
+    cs
+
+(* Duplicate shard keys collapse to their max, so canonicalization is
+   a true normalizer and the G-counter laws hold for any input. *)
+let sort_execs e =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s, n) ->
+      match Hashtbl.find_opt tbl s with
+      | Some m when m >= n -> ()
+      | _ -> Hashtbl.replace tbl s n)
+    e;
+  List.sort compare (Hashtbl.fold (fun s n acc -> (s, n) :: acc) tbl [])
+
+let canonical t =
+  {
+    t with
+    corpus = sort_corpus t.corpus;
+    crashes = sort_crashes (Triage.merge_records [ t.crashes ]);
+    execs = sort_execs t.execs;
+  }
+
+let merge a b =
+  if a.n_syscalls <> b.n_syscalls then
+    invalid_arg "Shard_state.merge: table size mismatch";
+  let coverage = Bitset.copy a.coverage in
+  Bitset.union_into ~dst:coverage b.coverage;
+  let execs =
+    let ea = sort_execs a.execs and eb = sort_execs b.execs in
+    let shards = List.sort_uniq compare (List.map fst ea @ List.map fst eb) in
+    List.map
+      (fun s ->
+        let get l = match List.assoc_opt s l with Some n -> n | None -> 0 in
+        (s, max (get ea) (get eb)))
+      shards
+  in
+  {
+    n_syscalls = a.n_syscalls;
+    relations = Relation_table.merge a.relations b.relations;
+    coverage;
+    corpus = sort_corpus (a.corpus @ b.corpus);
+    crashes = sort_crashes (Triage.merge_records [ a.crashes; b.crashes ]);
+    execs;
+  }
+
+let total_execs t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.execs
+
+(* ---- canonical serialization ---- *)
+
+let put_crash buf (r : Triage.record) =
+  Wire.put_str buf r.Triage.bug_key;
+  Wire.put_str buf r.Triage.signature;
+  Wire.put_str buf (Risk.to_string r.Triage.risk);
+  Wire.put_float buf r.Triage.first_found;
+  Wire.put_str buf (Serializer.encode r.Triage.reproducer)
+
+let to_string t =
+  let t = canonical t in
+  let buf = Buffer.create 4096 in
+  Wire.put_int buf t.n_syscalls;
+  let edges = Relation_table.edges t.relations in
+  Wire.put_int buf (List.length edges);
+  List.iter
+    (fun (i, j) ->
+      Wire.put_int buf i;
+      Wire.put_int buf j)
+    edges;
+  let cov = Bitset.elements t.coverage in
+  Wire.put_int buf (List.length cov);
+  (* Ascending ids, delta-encoded: small varints. *)
+  ignore
+    (List.fold_left
+       (fun prev id ->
+         Wire.put_int buf (id - prev);
+         id)
+       0 cov);
+  Wire.put_int buf (List.length t.corpus);
+  List.iter (fun (key, _) -> Wire.put_str buf key) t.corpus;
+  Wire.put_int buf (List.length t.crashes);
+  List.iter (put_crash buf) t.crashes;
+  Wire.put_int buf (List.length t.execs);
+  List.iter
+    (fun (shard, n) ->
+      Wire.put_int buf shard;
+      Wire.put_int buf n)
+    t.execs;
+  Buffer.contents buf
+
+let get_crash target s pos =
+  let bug_key = Wire.get_str s pos in
+  let signature = Wire.get_str s pos in
+  let risk_name = Wire.get_str s pos in
+  let risk =
+    match Risk.of_string risk_name with
+    | Some r -> r
+    | None -> raise (Malformed (Printf.sprintf "unknown risk class %S" risk_name))
+  in
+  let first_found = Wire.get_float s pos in
+  let enc = Wire.get_str s pos in
+  let reproducer =
+    try Serializer.decode target enc
+    with Serializer.Malformed msg -> raise (Malformed ("bad reproducer: " ^ msg))
+  in
+  {
+    Triage.bug_key;
+    risk;
+    signature;
+    first_found;
+    reproducer;
+    repro_len = Prog.length reproducer;
+  }
+
+let of_string target s =
+  let wrap f = try f () with Wire.Malformed msg -> raise (Malformed msg) in
+  wrap @@ fun () ->
+  let pos = ref 0 in
+  let n_syscalls = Wire.get_int s pos in
+  if n_syscalls <> Target.n_syscalls target then
+    raise
+      (Malformed
+         (Printf.sprintf "state for a %d-syscall target, expected %d" n_syscalls
+            (Target.n_syscalls target)));
+  let relations = Relation_table.create n_syscalls in
+  let n_edges = Wire.get_int s pos in
+  for _ = 1 to n_edges do
+    let i = Wire.get_int s pos in
+    let j = Wire.get_int s pos in
+    if i >= n_syscalls || j >= n_syscalls then
+      raise (Malformed (Printf.sprintf "relation (%d, %d) out of range" i j));
+    ignore (Relation_table.set relations i j)
+  done;
+  let coverage = Bitset.create () in
+  let n_cov = Wire.get_int s pos in
+  let prev = ref 0 in
+  for _ = 1 to n_cov do
+    prev := !prev + Wire.get_int s pos;
+    Bitset.add coverage !prev
+  done;
+  let n_corpus = Wire.get_int s pos in
+  let corpus = ref [] in
+  for _ = 1 to n_corpus do
+    let enc = Wire.get_str s pos in
+    let prog =
+      try Serializer.decode target enc
+      with Serializer.Malformed msg -> raise (Malformed ("bad program: " ^ msg))
+    in
+    (* Re-key on the canonical encoding in case the stored bytes were
+       not (the key is the dedup unit). *)
+    corpus := (Serializer.encode prog, prog) :: !corpus
+  done;
+  let n_crashes = Wire.get_int s pos in
+  let crashes = ref [] in
+  for _ = 1 to n_crashes do
+    crashes := get_crash target s pos :: !crashes
+  done;
+  let n_execs = Wire.get_int s pos in
+  let execs = ref [] in
+  for _ = 1 to n_execs do
+    let shard = Wire.get_int s pos in
+    let n = Wire.get_int s pos in
+    execs := (shard, n) :: !execs
+  done;
+  if !pos <> String.length s then raise (Malformed "trailing bytes");
+  canonical
+    {
+      n_syscalls;
+      relations;
+      coverage;
+      corpus = !corpus;
+      crashes = !crashes;
+      execs = !execs;
+    }
+
+let equal a b = String.equal (to_string a) (to_string b)
+let digest t = Digest.to_hex (Digest.string (to_string t))
+
+(* ---- worker deltas ---- *)
+
+type delta = { shard : int; epoch : int; d_execs : int; outcome : t }
+
+let apply g (d : delta) =
+  let prev = match List.assoc_opt d.shard g.execs with Some n -> n | None -> 0 in
+  let contrib = { d.outcome with execs = [ (d.shard, prev + d.d_execs) ] } in
+  merge g contrib
+
+let delta_to_string d =
+  let buf = Buffer.create 4096 in
+  Wire.put_int buf d.shard;
+  Wire.put_int buf d.epoch;
+  Wire.put_int buf d.d_execs;
+  Buffer.add_string buf (to_string { d.outcome with execs = [] });
+  Buffer.contents buf
+
+let delta_of_string target s =
+  let wrap f = try f () with Wire.Malformed msg -> raise (Malformed msg) in
+  wrap @@ fun () ->
+  let pos = ref 0 in
+  let shard = Wire.get_int s pos in
+  let epoch = Wire.get_int s pos in
+  let d_execs = Wire.get_int s pos in
+  let outcome = of_string target (Wire.get_all s pos) in
+  { shard; epoch; d_execs; outcome }

@@ -1,0 +1,68 @@
+(** The coordinator's merged campaign state — a CRDT.
+
+    Every component is a join-semilattice, so {!merge} is commutative,
+    associative and idempotent with {!empty} as identity, and the
+    coordinator can fold worker deltas in any order (or twice) and
+    reach the same state:
+
+    - learned relations: grow-only edge set ({!Relation_table.merge});
+    - coverage: grow-only branch-id set (bitset union);
+    - corpus: grow-only program set, deduplicated by serialized form;
+    - crashes: per-signature register resolved by
+      {!Healer_core.Triage.merge_records} (earliest discovery wins,
+      deterministic tie-breaks);
+    - per-shard execution counters: pointwise max (a G-counter).
+
+    Serialization is canonical — equal states produce identical bytes
+    regardless of the merge order that built them — so checkpoint
+    files diff cleanly and state equality is a string compare. *)
+
+exception Malformed of string
+(** Raised by the decoders on truncated or corrupt input (a
+    checkpoint cut off mid-write, a garbled frame). *)
+
+type t = {
+  n_syscalls : int;
+  relations : Healer_core.Relation_table.t;
+  coverage : Healer_util.Bitset.t;
+  corpus : (string * Healer_executor.Prog.t) list;
+      (** [(serialized form, program)], sorted by key, no duplicates. *)
+  crashes : Healer_core.Triage.record list;  (** Sorted by signature. *)
+  execs : (int * int) list;  (** [(shard, execs)] counters, sorted. *)
+}
+(** Treat values as immutable: [merge] never mutates its inputs. *)
+
+val empty : n_syscalls:int -> t
+val of_target : Healer_syzlang.Target.t -> t
+
+val merge : t -> t -> t
+(** CRDT join. Raises [Invalid_argument] on [n_syscalls] mismatch. *)
+
+val equal : t -> t -> bool
+val digest : t -> string
+(** Short stable hex digest of the canonical serialization. *)
+
+val total_execs : t -> int
+
+val to_string : t -> string
+val of_string : Healer_syzlang.Target.t -> string -> t
+(** Raises {!Malformed}. Validates [n_syscalls] against the target. *)
+
+(** {2 Worker deltas} *)
+
+type delta = {
+  shard : int;
+  epoch : int;
+  d_execs : int;  (** Executions spent by this shard this epoch. *)
+  outcome : t;  (** The worker's end-of-epoch state ([execs] empty). *)
+}
+
+val apply : t -> delta -> t
+(** Fold one worker delta: merge the outcome and credit the shard's
+    execution counter. The coordinator guards against folding the same
+    [(shard, epoch)] twice, which keeps the counters exact; the
+    set-valued components would be idempotent anyway. *)
+
+val delta_to_string : delta -> string
+val delta_of_string : Healer_syzlang.Target.t -> string -> delta
+(** Raises {!Malformed}. *)

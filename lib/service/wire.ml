@@ -1,0 +1,96 @@
+module Serializer = Healer_executor.Serializer
+
+exception Malformed of string
+
+type tag = Epoch | Delta | Quit
+
+let tag_byte = function Epoch -> 'E' | Delta -> 'D' | Quit -> 'Q'
+
+let tag_of_byte = function
+  | 'E' -> Epoch
+  | 'D' -> Delta
+  | 'Q' -> Quit
+  | c -> raise (Malformed (Printf.sprintf "unknown frame tag %C" c))
+
+(* A corrupt length prefix must not turn into a giant allocation. *)
+let max_payload = 1 lsl 30
+
+(* ---- payload primitives ---- *)
+
+let put_int buf n =
+  if n < 0 then invalid_arg "Wire.put_int: negative";
+  Serializer.put_uvarint buf (Int64.of_int n)
+
+let put_str buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_float buf f = Serializer.put_uvarint buf (Int64.bits_of_float f)
+
+let get_uvarint s pos =
+  try Serializer.get_uvarint s pos
+  with Serializer.Malformed msg -> raise (Malformed msg)
+
+let get_int s pos =
+  let v = get_uvarint s pos in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    raise (Malformed "varint out of int range");
+  Int64.to_int v
+
+let get_str s pos =
+  let n = get_int s pos in
+  if n > String.length s - !pos then raise (Malformed "truncated string");
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let get_float s pos = Int64.float_of_bits (get_uvarint s pos)
+
+let get_all s pos =
+  let r = String.sub s !pos (String.length s - !pos) in
+  pos := String.length s;
+  r
+
+(* ---- framing ---- *)
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let read_exact fd n =
+  let bytes = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.read fd bytes !off (n - !off) with
+    | 0 -> raise End_of_file
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  bytes
+
+let send_frame fd tag payload =
+  let buf = Buffer.create (String.length payload + 12) in
+  Buffer.add_char buf (tag_byte tag);
+  put_int buf (String.length payload);
+  Buffer.add_string buf payload;
+  write_all fd (Buffer.to_bytes buf) 0 (Buffer.length buf)
+
+(* The length varint is read byte-by-byte: its size is unknown until
+   the continuation bit clears. *)
+let recv_frame fd =
+  let tag = tag_of_byte (Bytes.get (read_exact fd 1) 0) in
+  let len = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then raise (Malformed "frame length varint too long");
+    let b = Char.code (Bytes.get (read_exact fd 1) 0) in
+    len := !len lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  if !len > max_payload then raise (Malformed "frame payload too large");
+  (tag, Bytes.to_string (read_exact fd !len))

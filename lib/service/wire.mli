@@ -1,0 +1,47 @@
+(** Length-prefixed binary framing over file descriptors — the
+    coordinator/worker pipe protocol, built on the executor's LEB128
+    varints ({!Healer_executor.Serializer}).
+
+    A frame is one tag byte, a uvarint payload length, then the
+    payload. Writers emit a frame with a single buffered write;
+    readers block until the full frame arrives. A peer dying mid-frame
+    surfaces as [End_of_file] (the pipe drains, then reads return 0),
+    which the coordinator treats as worker death. *)
+
+exception Malformed of string
+(** Unknown tag, varint overflow, or an implausible payload length. *)
+
+type tag =
+  | Epoch  (** coordinator -> worker: epoch index + merged state *)
+  | Delta  (** worker -> coordinator: end-of-epoch shard delta *)
+  | Quit  (** coordinator -> worker: shut down cleanly *)
+
+val send_frame : Unix.file_descr -> tag -> string -> unit
+(** Raises [Unix.Unix_error (EPIPE, _, _)] when the peer is gone
+    (the service layer disables [SIGPIPE]). *)
+
+val recv_frame : Unix.file_descr -> tag * string
+(** Blocking. Raises [End_of_file] on a closed peer, {!Malformed} on
+    garbage. *)
+
+(** {2 Payload primitives}
+
+    Shared by the state, delta and checkpoint encoders. All raise
+    {!Malformed} on truncated or corrupt input, never [Scanf]-style
+    surprises. *)
+
+val put_int : Buffer.t -> int -> unit
+(** Non-negative ints as uvarints. *)
+
+val put_str : Buffer.t -> string -> unit
+(** Length-prefixed bytes. *)
+
+val put_float : Buffer.t -> float -> unit
+(** IEEE bits as a uvarint. *)
+
+val get_int : string -> int ref -> int
+val get_str : string -> int ref -> string
+val get_float : string -> int ref -> float
+
+val get_all : string -> int ref -> string
+(** The remaining bytes (advances the cursor to the end). *)

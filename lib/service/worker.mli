@@ -1,0 +1,27 @@
+(** One shard of a sharded campaign.
+
+    A worker is {e restartable per epoch}: each epoch it builds a
+    fresh {!Healer_core.Fuzzer} from (config, shard, epoch, merged
+    global state), fuzzes for one time slice, and ships its complete
+    end-of-epoch state back as a {!Shard_state.delta}. No worker state
+    survives an epoch except through the coordinator's merged state,
+    which is what makes checkpoint/resume and death/respawn exact: a
+    respawned worker re-running an epoch produces byte-identical
+    output. *)
+
+val seed_for : Checkpoint.config -> shard:int -> epoch:int -> int
+(** Deterministic per-(shard, epoch) RNG seed. *)
+
+val run_epoch :
+  Checkpoint.config -> shard:int -> epoch:int -> Shard_state.t ->
+  Shard_state.delta
+(** Pure with respect to its arguments: seeds a fresh fuzzer with the
+    merged relations and corpus, runs one slice, harvests the
+    outcome. *)
+
+val serve : Checkpoint.config -> shard:int -> input:Unix.file_descr ->
+  output:Unix.file_descr -> 'a
+(** Child-process loop: receive [Epoch] frames, answer with [Delta]
+    frames, exit on [Quit] or peer EOF. Never returns — terminates the
+    process via [Unix._exit] (skipping [at_exit], which belongs to the
+    parent). *)

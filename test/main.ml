@@ -29,6 +29,10 @@ let () =
       ("triage-fuzzer", Test_triage_fuzzer.suite);
       ("progcheck", Test_progcheck.suite);
       ("persist", Test_persist.suite);
+      (* The service suite forks worker processes; OCaml 5 forbids
+         Unix.fork once any other domain has been spawned, so it must
+         run before the domain-spawning "parallel" suite. *)
+      ("service", Test_service.suite);
       ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
       ("lockdep", Test_lockdep.suite);

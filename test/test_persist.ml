@@ -18,13 +18,24 @@ let test_relations_roundtrip () =
 let test_relations_reject_garbage () =
   let reject s =
     match Relation_table.deserialize s with
-    | exception Invalid_argument _ -> ()
+    | exception Relation_table.Malformed _ -> ()
     | _ -> Alcotest.fail ("accepted: " ^ s)
   in
   reject "";
   reject "nonsense\n1 2\n";
   reject "healer-relations 4\n9 1\n";
-  reject "healer-relations 4\n1 x\n"
+  reject "healer-relations 4\n1 x\n";
+  reject "healer-relations 4\n1 2 trailing\n";
+  reject "healer-relations 99999999\n";
+  (* Loaders surface the typed error as Persist.Corrupt. *)
+  let path = Filename.temp_file "healer" ".rel" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.write_atomic ~path "nonsense\n1 2\n";
+      match Persist.load_relations ~path with
+      | exception Persist.Corrupt _ -> ()
+      | _ -> Alcotest.fail "loader accepted garbage")
 
 let test_relations_learned_roundtrip () =
   (* A table learned by an actual campaign survives the roundtrip. *)
@@ -82,6 +93,26 @@ let test_file_roundtrip () =
       Alcotest.(check int) "reloaded" 1
         (List.length (Persist.load_corpus (tgt ()) ~path)))
 
+let test_atomic_write_survives_crash () =
+  let path = Filename.temp_file "healer" ".rel" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () ->
+      let t = Relation_table.create 8 in
+      ignore (Relation_table.set t 1 2);
+      Persist.save_relations ~path t;
+      (* A crash mid-write leaves a partial temp file; the rename that
+         would commit it never ran, so the live file is untouched. *)
+      let oc = open_out_bin (path ^ ".tmp") in
+      output_string oc "healer-relations 8\n1";
+      close_out oc;
+      Alcotest.(check (list (pair int int)))
+        "previous state loadable after simulated crash"
+        (Relation_table.edges t)
+        (Relation_table.edges (Persist.load_relations ~path)))
+
 let test_initial_seeds_ingested () =
   let seeds =
     [ prog [ call "socket$tcp" [ i 2L; i 1L; i 6L ]; call "listen" [ r 0; iv 8 ] ] ]
@@ -100,5 +131,6 @@ let suite =
     case "corpus roundtrip" test_corpus_roundtrip;
     case "corpus rejects garbage" test_corpus_rejects_garbage;
     case "corpus file roundtrip" test_file_roundtrip;
+    case "atomic write survives mid-write crash" test_atomic_write_survives_crash;
     case "initial seeds ingested" test_initial_seeds_ingested;
   ]

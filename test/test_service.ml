@@ -1,0 +1,480 @@
+(* The sharded campaign service: CRDT merge laws for every state
+   component, wire/checkpoint serialization robustness, and the
+   coordinator's determinism guarantees (forked == sequential,
+   interrupted+resumed == uninterrupted, worker death == no-op). *)
+
+module Bitset = Healer_util.Bitset
+module Target = Healer_syzlang.Target
+module K = Healer_kernel
+module Serializer = Healer_executor.Serializer
+module S = Healer_service
+open Healer_core
+open Helpers
+
+let n_syscalls () = Target.n_syscalls (tgt ())
+
+let sample_progs =
+  lazy
+    [
+      prog [ call "sync$ALL" [ i 0L; i 0L ] ];
+      prog [ call "memfd_create" [ ptr (s "m"); i 2L ] ];
+      prog
+        [ call "socket$tcp" [ i 2L; i 1L; i 6L ]; call "listen" [ r 0; iv 8 ] ];
+      prog [ call "socket$udp" [ i 2L; i 2L; i 17L ] ];
+    ]
+
+let sample_records =
+  lazy
+    (let ps = Lazy.force sample_progs in
+     let p n = List.nth ps n in
+     let risk n = List.nth K.Risk.all (n mod List.length K.Risk.all) in
+     [
+       {
+         Triage.bug_key = "bug_a";
+         risk = risk 0;
+         signature = "sig_a";
+         first_found = 10.0;
+         reproducer = p 0;
+         repro_len = 1;
+       };
+       {
+         Triage.bug_key = "bug_a";
+         risk = risk 0;
+         signature = "sig_a";
+         first_found = 5.0;
+         reproducer = p 2;
+         repro_len = 2;
+       };
+       {
+         Triage.bug_key = "bug_b";
+         risk = risk 1;
+         signature = "sig_b";
+         first_found = 99.0;
+         reproducer = p 1;
+         repro_len = 1;
+       };
+       {
+         Triage.bug_key = "bug_c";
+         risk = risk 2;
+         signature = "sig_c";
+         first_found = 7.0;
+         reproducer = p 3;
+         repro_len = 1;
+       };
+     ])
+
+(* ---- generators ---- *)
+
+let gen_state =
+  let open QCheck2.Gen in
+  let pick_from l = map (fun idx -> List.nth l idx) (int_bound (List.length l - 1)) in
+  let* edges =
+    small_list (pair (int_bound (n_syscalls () - 1)) (int_bound (n_syscalls () - 1)))
+  in
+  let* cov = small_list (int_bound 5000) in
+  let* progs = small_list (pick_from (Lazy.force sample_progs)) in
+  let* crashes = small_list (pick_from (Lazy.force sample_records)) in
+  let* execs = small_list (pair (int_bound 3) (int_bound 1000)) in
+  return
+    (let relations = Relation_table.create (n_syscalls ()) in
+     List.iter (fun (a, b) -> ignore (Relation_table.set relations a b)) edges;
+     let coverage = Bitset.create () in
+     List.iter (Bitset.add coverage) cov;
+     {
+       S.Shard_state.n_syscalls = n_syscalls ();
+       relations;
+       coverage;
+       corpus = List.map (fun p -> (Serializer.encode p, p)) progs;
+       crashes;
+       execs;
+     })
+
+let gen_edges n =
+  QCheck2.Gen.(small_list (pair (int_bound (n - 1)) (int_bound (n - 1))))
+
+let table_of_edges n edges =
+  let t = Relation_table.create n in
+  List.iter (fun (a, b) -> ignore (Relation_table.set t a b)) edges;
+  t
+
+let bitset_of l =
+  let b = Bitset.create () in
+  List.iter (Bitset.add b) l;
+  b
+
+let corpus_of progs =
+  let c = Corpus.create (tgt ()) in
+  List.iter (fun p -> ignore (Corpus.add c p ~new_blocks:1)) progs;
+  c
+
+let corpus_progs c =
+  let acc = ref [] in
+  Corpus.iter (fun p -> acc := Serializer.encode p :: !acc) c;
+  List.sort compare !acc
+
+let record_key (r : Triage.record) =
+  (r.Triage.signature, r.Triage.first_found, Serializer.encode r.Triage.reproducer)
+
+(* ---- CRDT law properties ---- *)
+
+let eq = S.Shard_state.equal
+let ( <+> ) = S.Shard_state.merge
+
+let state_props =
+  let open QCheck2.Gen in
+  [
+    qcheck ~count:100 "state merge commutative" (pair gen_state gen_state)
+      (fun (a, b) -> eq (a <+> b) (b <+> a));
+    qcheck ~count:100 "state merge associative"
+      (triple gen_state gen_state gen_state)
+      (fun (a, b, c) -> eq ((a <+> b) <+> c) (a <+> (b <+> c)));
+    qcheck ~count:100 "state merge idempotent" gen_state (fun a ->
+        eq (a <+> a) a);
+    qcheck ~count:100 "empty is identity" gen_state (fun a ->
+        eq (a <+> S.Shard_state.empty ~n_syscalls:(n_syscalls ())) a);
+    qcheck ~count:100 "serialization roundtrip" gen_state (fun a ->
+        eq a (S.Shard_state.of_string (tgt ()) (S.Shard_state.to_string a)));
+    qcheck ~count:100 "canonical bytes: digest agrees across merge order"
+      (pair gen_state gen_state)
+      (fun (a, b) ->
+        String.equal (S.Shard_state.digest (a <+> b)) (S.Shard_state.digest (b <+> a)));
+  ]
+
+let relation_props =
+  let open QCheck2.Gen in
+  let n = 40 in
+  let t = table_of_edges n in
+  let eq a b = Relation_table.edges a = Relation_table.edges b in
+  [
+    qcheck "relation merge commutative" (pair (gen_edges n) (gen_edges n))
+      (fun (a, b) ->
+        eq (Relation_table.merge (t a) (t b)) (Relation_table.merge (t b) (t a)));
+    qcheck "relation merge associative"
+      (triple (gen_edges n) (gen_edges n) (gen_edges n))
+      (fun (a, b, c) ->
+        eq
+          (Relation_table.merge (Relation_table.merge (t a) (t b)) (t c))
+          (Relation_table.merge (t a) (Relation_table.merge (t b) (t c))));
+    qcheck "relation merge idempotent" (gen_edges n) (fun a ->
+        eq (Relation_table.merge (t a) (t a)) (t a));
+    qcheck "empty table is identity" (gen_edges n) (fun a ->
+        eq (Relation_table.merge (t a) (Relation_table.create n)) (t a));
+  ]
+
+let coverage_props =
+  let open QCheck2.Gen in
+  let ids = small_list (int_bound 10_000) in
+  let union a b =
+    let d = Bitset.copy (bitset_of a) in
+    Bitset.union_into ~dst:d (bitset_of b);
+    Bitset.elements d
+  in
+  [
+    qcheck "coverage union commutative" (pair ids ids) (fun (a, b) ->
+        union a b = union b a);
+    qcheck "coverage union idempotent" ids (fun a -> union a a = Bitset.elements (bitset_of a));
+    qcheck "coverage union associative" (triple ids ids ids) (fun (a, b, c) ->
+        union (union a b) c = union a (union b c));
+  ]
+
+let corpus_props =
+  let open QCheck2.Gen in
+  let progs = small_list (map (List.nth (Lazy.force sample_progs)) (int_bound 3)) in
+  let merged a b =
+    let c = corpus_of a in
+    ignore (Corpus.merge_into ~dst:c (corpus_of b));
+    corpus_progs c
+  in
+  [
+    qcheck "corpus merge commutative" (pair progs progs) (fun (a, b) ->
+        merged a b = merged b a);
+    qcheck "corpus merge idempotent" progs (fun a ->
+        merged a a = corpus_progs (corpus_of a));
+    qcheck "corpus merge associative" (triple progs progs progs)
+      (fun (a, b, c) ->
+        (let ab = corpus_of a in
+         ignore (Corpus.merge_into ~dst:ab (corpus_of b));
+         ignore (Corpus.merge_into ~dst:ab (corpus_of c));
+         corpus_progs ab)
+        = merged a (b @ c));
+  ]
+
+let crash_props =
+  let open QCheck2.Gen in
+  let recs = small_list (map (List.nth (Lazy.force sample_records)) (int_bound 3)) in
+  let m lists = List.map record_key (Triage.merge_records lists) in
+  [
+    qcheck "crash merge commutative" (pair recs recs) (fun (a, b) ->
+        m [ a; b ] = m [ b; a ]);
+    qcheck "crash merge associative" (triple recs recs recs)
+      (fun (a, b, c) -> m [ Triage.merge_records [ a; b ]; c ] = m [ a; Triage.merge_records [ b; c ] ]);
+    qcheck "crash merge idempotent" recs (fun a -> m [ a; a ] = m [ a ]);
+    qcheck "earliest record wins" (pair recs recs) (fun (a, b) ->
+        List.for_all
+          (fun (r : Triage.record) ->
+            List.for_all
+              (fun (o : Triage.record) ->
+                (not (String.equal o.Triage.signature r.Triage.signature))
+                || o.Triage.first_found >= r.Triage.first_found)
+              (a @ b))
+          (Triage.merge_records [ a; b ]));
+  ]
+
+(* ---- wire protocol ---- *)
+
+let test_wire_roundtrip () =
+  let buf = Buffer.create 64 in
+  S.Wire.put_int buf 0;
+  S.Wire.put_int buf 300;
+  S.Wire.put_int buf max_int;
+  S.Wire.put_str buf "";
+  S.Wire.put_str buf "hello \x00 world";
+  S.Wire.put_float buf 1.5;
+  S.Wire.put_float buf (-0.0);
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  Alcotest.(check int) "zero" 0 (S.Wire.get_int s pos);
+  Alcotest.(check int) "multi-byte" 300 (S.Wire.get_int s pos);
+  Alcotest.(check int) "max_int" max_int (S.Wire.get_int s pos);
+  Alcotest.(check string) "empty string" "" (S.Wire.get_str s pos);
+  Alcotest.(check string) "binary string" "hello \x00 world" (S.Wire.get_str s pos);
+  Alcotest.(check (float 0.0)) "float" 1.5 (S.Wire.get_float s pos);
+  Alcotest.(check (float 0.0)) "negative zero" (-0.0) (S.Wire.get_float s pos);
+  Alcotest.(check string) "fully consumed" "" (S.Wire.get_all s pos)
+
+let test_wire_frames_over_pipe () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      S.Wire.send_frame w S.Wire.Epoch "payload one";
+      (* Stays under the pipe buffer: both ends live in this process,
+         so an oversized frame would block the write forever. *)
+      S.Wire.send_frame w S.Wire.Delta (String.make 16_000 'x');
+      S.Wire.send_frame w S.Wire.Quit "";
+      let tag, p = S.Wire.recv_frame r in
+      Alcotest.(check bool) "epoch tag" true (tag = S.Wire.Epoch);
+      Alcotest.(check string) "payload" "payload one" p;
+      let tag, p = S.Wire.recv_frame r in
+      Alcotest.(check bool) "delta tag" true (tag = S.Wire.Delta);
+      Alcotest.(check int) "large payload intact" 16_000 (String.length p);
+      let tag, _ = S.Wire.recv_frame r in
+      Alcotest.(check bool) "quit tag" true (tag = S.Wire.Quit);
+      Unix.close w;
+      match S.Wire.recv_frame r with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "expected EOF after writer closed")
+
+let test_wire_rejects_garbage () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.write_substring w "Z\x05hello" 0 7);
+      match S.Wire.recv_frame r with
+      | exception S.Wire.Malformed _ -> ()
+      | _ -> Alcotest.fail "accepted unknown frame tag")
+
+(* ---- worker determinism and delta folding ---- *)
+
+let small_cfg ?(jobs = 2) ?(epochs = 2) ?(seed = 5) ?(slice = 30.0) () =
+  {
+    S.Checkpoint.tool = Fuzzer.Healer;
+    version = K.Version.V5_11;
+    jobs;
+    base_seed = seed;
+    epochs;
+    slice;
+  }
+
+let test_worker_deterministic () =
+  let cfg = small_cfg () in
+  let g = S.Shard_state.of_target (tgt ()) in
+  let d1 = S.Worker.run_epoch cfg ~shard:0 ~epoch:0 g in
+  let d2 = S.Worker.run_epoch cfg ~shard:0 ~epoch:0 g in
+  Alcotest.(check string) "identical delta bytes"
+    (S.Shard_state.delta_to_string d1)
+    (S.Shard_state.delta_to_string d2)
+
+let test_fold_order_irrelevant () =
+  let cfg = small_cfg () in
+  let g = S.Shard_state.of_target (tgt ()) in
+  let d0 = S.Worker.run_epoch cfg ~shard:0 ~epoch:0 g in
+  let d1 = S.Worker.run_epoch cfg ~shard:1 ~epoch:0 g in
+  let a = S.Shard_state.apply (S.Shard_state.apply g d0) d1 in
+  let b = S.Shard_state.apply (S.Shard_state.apply g d1) d0 in
+  Alcotest.(check bool) "two shards fold to the same state either way" true
+    (eq a b);
+  Alcotest.(check int) "exec counters are exact"
+    (d0.S.Shard_state.d_execs + d1.S.Shard_state.d_execs)
+    (S.Shard_state.total_execs a)
+
+let test_delta_roundtrip () =
+  let cfg = small_cfg () in
+  let g = S.Shard_state.of_target (tgt ()) in
+  let d = S.Worker.run_epoch cfg ~shard:1 ~epoch:0 g in
+  let d' =
+    S.Shard_state.delta_of_string (tgt ()) (S.Shard_state.delta_to_string d)
+  in
+  Alcotest.(check int) "shard" d.S.Shard_state.shard d'.S.Shard_state.shard;
+  Alcotest.(check int) "epoch" d.S.Shard_state.epoch d'.S.Shard_state.epoch;
+  Alcotest.(check int) "d_execs" d.S.Shard_state.d_execs d'.S.Shard_state.d_execs;
+  Alcotest.(check bool) "outcome" true
+    (eq d.S.Shard_state.outcome d'.S.Shard_state.outcome)
+
+(* ---- coordinator ---- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "healer-svc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let run ?forked ?checkpoint_dir ?stop_after ?chaos cfg_or_ck =
+  S.Coordinator.run ?forked ?checkpoint_dir ?stop_after ?chaos cfg_or_ck
+
+let test_forked_equals_sequential () =
+  let cfg = small_cfg () in
+  let seq = (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final in
+  let fkd = (run ~forked:true (S.Coordinator.initial cfg)).S.Coordinator.final in
+  Alcotest.(check bool) "bit-identical merged state" true
+    (eq seq.S.Checkpoint.state fkd.S.Checkpoint.state);
+  Alcotest.(check int) "same epochs completed" seq.S.Checkpoint.completed
+    fkd.S.Checkpoint.completed;
+  Alcotest.(check bool) "campaign made progress" true
+    (S.Shard_state.total_execs seq.S.Checkpoint.state > 0)
+
+let test_interrupted_resume () =
+  with_tmpdir @@ fun dir ->
+  let cfg = small_cfg ~epochs:3 () in
+  let full = (run ~forked:true (S.Coordinator.initial cfg)).S.Coordinator.final in
+  (* Kill the campaign after one epoch, then resume from disk. *)
+  let part =
+    (run ~forked:true ~checkpoint_dir:dir ~stop_after:1
+       (S.Coordinator.initial cfg))
+      .S.Coordinator.final
+  in
+  Alcotest.(check int) "stopped early" 1 part.S.Checkpoint.completed;
+  let loaded = S.Checkpoint.load (tgt ()) ~path:dir in
+  Alcotest.(check bool) "checkpoint holds the interrupted state" true
+    (eq part.S.Checkpoint.state loaded.S.Checkpoint.state);
+  let resumed = (run ~forked:true ~checkpoint_dir:dir loaded).S.Coordinator.final in
+  Alcotest.(check int) "resumed to completion" cfg.S.Checkpoint.epochs
+    resumed.S.Checkpoint.completed;
+  Alcotest.(check bool) "resumed == uninterrupted (relations, coverage, \
+                         corpus, crashes, execs)" true
+    (eq full.S.Checkpoint.state resumed.S.Checkpoint.state)
+
+let test_worker_death_respawn () =
+  let cfg = small_cfg () in
+  let baseline =
+    (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final
+  in
+  let killed = ref 0 in
+  let chaos ~epoch pids =
+    if epoch = 0 then
+      match pids with
+      | (_, pid) :: _ ->
+        incr killed;
+        Unix.kill pid Sys.sigkill
+      | [] -> ()
+  in
+  let out = run ~forked:true ~chaos (S.Coordinator.initial cfg) in
+  Alcotest.(check int) "one worker was killed" 1 !killed;
+  Alcotest.(check bool) "death was detected and recovered" true
+    (out.S.Coordinator.respawns >= 1);
+  Alcotest.(check bool) "worker death does not perturb results" true
+    (eq baseline.S.Checkpoint.state out.S.Coordinator.final.S.Checkpoint.state)
+
+(* ---- checkpoint durability ---- *)
+
+let test_checkpoint_roundtrip () =
+  let cfg = small_cfg ~epochs:1 () in
+  let ck = (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final in
+  let ck' = S.Checkpoint.of_string (tgt ()) (S.Checkpoint.to_string ck) in
+  Alcotest.(check bool) "state" true (eq ck.S.Checkpoint.state ck'.S.Checkpoint.state);
+  Alcotest.(check int) "completed" ck.S.Checkpoint.completed ck'.S.Checkpoint.completed;
+  Alcotest.(check int) "jobs" ck.S.Checkpoint.config.S.Checkpoint.jobs
+    ck'.S.Checkpoint.config.S.Checkpoint.jobs;
+  Alcotest.(check (float 0.0)) "slice" ck.S.Checkpoint.config.S.Checkpoint.slice
+    ck'.S.Checkpoint.config.S.Checkpoint.slice
+
+let test_checkpoint_rejects_truncation () =
+  let cfg = small_cfg ~epochs:1 () in
+  let ck = (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final in
+  let s = S.Checkpoint.to_string ck in
+  List.iter
+    (fun pct ->
+      let len = String.length s * pct / 100 in
+      if len < String.length s then
+        match S.Checkpoint.of_string (tgt ()) (String.sub s 0 len) with
+        | exception S.Checkpoint.Malformed _ -> ()
+        | _ -> Alcotest.fail (Printf.sprintf "accepted %d%% truncation" pct))
+    [ 0; 3; 10; 25; 50; 75; 90; 99 ];
+  (* Unknown future format versions are rejected, not misparsed. *)
+  let bumped = Bytes.of_string s in
+  Bytes.set bumped 6 '\255';
+  (match S.Checkpoint.of_string (tgt ()) (Bytes.to_string bumped) with
+  | exception S.Checkpoint.Malformed _ -> ()
+  | _ -> Alcotest.fail "accepted unknown format version");
+  match S.Checkpoint.of_string (tgt ()) (s ^ "x") with
+  | exception S.Checkpoint.Malformed _ -> ()
+  | _ -> Alcotest.fail "accepted trailing bytes"
+
+let test_checkpoint_midwrite_crash () =
+  with_tmpdir @@ fun dir ->
+  let cfg = small_cfg ~epochs:1 () in
+  let ck = (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final in
+  S.Checkpoint.save ~dir ck;
+  (* A crash mid-write leaves a partial temp file behind but never
+     touches the live checkpoint: the rename is the commit point. *)
+  let oc = open_out_bin (S.Checkpoint.file dir ^ ".tmp") in
+  output_string oc "partial garbage cut off mid-wr";
+  close_out oc;
+  let loaded = S.Checkpoint.load (tgt ()) ~path:dir in
+  Alcotest.(check bool) "previous checkpoint intact after simulated crash" true
+    (eq ck.S.Checkpoint.state loaded.S.Checkpoint.state)
+
+let test_checkpoint_merge () =
+  let ck seed =
+    (run ~forked:false (S.Coordinator.initial (small_cfg ~epochs:1 ~seed ())))
+      .S.Coordinator.final
+  in
+  let a = ck 5 and b = ck 23 in
+  let ab = S.Checkpoint.merge a b and ba = S.Checkpoint.merge b a in
+  Alcotest.(check bool) "merged states agree either way" true
+    (eq ab.S.Checkpoint.state ba.S.Checkpoint.state);
+  Alcotest.(check bool) "merge dominates both inputs" true
+    (eq ab.S.Checkpoint.state
+       (S.Shard_state.merge ab.S.Checkpoint.state a.S.Checkpoint.state)
+    && eq ab.S.Checkpoint.state
+         (S.Shard_state.merge ab.S.Checkpoint.state b.S.Checkpoint.state))
+
+let suite =
+  state_props @ relation_props @ coverage_props @ corpus_props @ crash_props
+  @ [
+      case "wire primitives roundtrip" test_wire_roundtrip;
+      case "wire frames over a pipe" test_wire_frames_over_pipe;
+      case "wire rejects unknown tags" test_wire_rejects_garbage;
+      case "worker epoch is deterministic" test_worker_deterministic;
+      case "delta fold order is irrelevant" test_fold_order_irrelevant;
+      case "delta roundtrip" test_delta_roundtrip;
+      case "forked == sequential" test_forked_equals_sequential;
+      case "interrupted + resumed == uninterrupted" test_interrupted_resume;
+      case "worker death: respawn, same results" test_worker_death_respawn;
+      case "checkpoint roundtrip" test_checkpoint_roundtrip;
+      case "checkpoint rejects corruption" test_checkpoint_rejects_truncation;
+      case "mid-write crash keeps previous checkpoint" test_checkpoint_midwrite_crash;
+      case "checkpoint merge" test_checkpoint_merge;
+    ]
