@@ -855,14 +855,95 @@ let compiled_smoke () =
 let shard_results : (int * float * int * int * int * int * int) list ref =
   ref []
 
-(* The serve path end to end: N shards, epoch-barrier CRDT merges.
-   Same total virtual budget per shard at every width, so the rows
-   show what adding shards buys (coverage, crashes) and costs (merge
+(* Forked-coordinator communication costs: exact per-epoch wire bytes
+   of the incremental protocol against the full-state counterfactual,
+   and pipelined (async) vs lockstep (barrier) wall clock under a
+   deterministic rotating straggler. *)
+let shard_comms_stats :
+    (int * int * int * int * float * float) option ref =
+  ref None
+(* (bytes_full, bytes_incremental, steady_full, steady_incremental,
+   barrier_seconds, async_seconds) *)
+
+let shard_comms () =
+  let module S = Healer_service in
+  let epochs = 8 and jobs = 2 in
+  let cfg =
+    {
+      S.Checkpoint.tool = Fuzzer.Healer;
+      version = K.Version.V5_11;
+      jobs;
+      base_seed = 1;
+      epochs;
+      slice = hours *. 3600.0 /. float_of_int epochs;
+    }
+  in
+  (* Byte accounting runs in lockstep: per-epoch attribution is exact
+     there, and the lag-2 schedule ships the same diffs either way. *)
+  let per_epoch = ref [] in
+  let last = ref (0, 0) in
+  let on_epoch (p : S.Coordinator.progress) =
+    let incr_now = p.S.Coordinator.bytes_sent + p.S.Coordinator.bytes_recv in
+    let pi, pf = !last in
+    per_epoch :=
+      (p.S.Coordinator.epoch, incr_now - pi, p.S.Coordinator.bytes_full - pf)
+      :: !per_epoch;
+    last := (incr_now, p.S.Coordinator.bytes_full)
+  in
+  let out =
+    S.Coordinator.run ~forked:true ~mode:S.Coordinator.Barrier
+      ~measure_full:true ~on_epoch (S.Coordinator.initial cfg)
+  in
+  let bytes_incr =
+    out.S.Coordinator.bytes_sent + out.S.Coordinator.bytes_recv
+  in
+  let bytes_full = out.S.Coordinator.bytes_full in
+  Fmt.pr "@.  incremental vs full-state sync (%d shards x %d epochs)@." jobs
+    epochs;
+  Fmt.pr "  %5s %12s %12s %8s@." "epoch" "incr-bytes" "full-bytes" "ratio";
+  List.iter
+    (fun (e, i, f) ->
+      Fmt.pr "  %5d %12d %12d %7.1fx@." e i f
+        (float_of_int f /. float_of_int (max 1 i)))
+    (List.rev !per_epoch);
+  let steady_incr, steady_full =
+    match !per_epoch with (_, i, f) :: _ -> (i, f) | [] -> (0, 0)
+  in
+  Fmt.pr "  %5s %12d %12d %7.1fx@." "total" bytes_incr bytes_full
+    (float_of_int bytes_full /. float_of_int (max 1 bytes_incr));
+  (* Wall clock with a rotating 120 ms straggler: the barrier stalls
+     every shard on it each epoch; the pipeline overlaps it. Skew only
+     sleeps, so all three digests must agree. *)
+  Unix.putenv "HEALER_SHARD_SKEW_MS" "120";
+  let timed mode =
+    let t0 = Unix.gettimeofday () in
+    let o = S.Coordinator.run ~forked:true ~mode (S.Coordinator.initial cfg) in
+    ( Unix.gettimeofday () -. t0,
+      S.Shard_state.digest o.S.Coordinator.final.S.Checkpoint.state )
+  in
+  let barrier_s, barrier_digest = timed S.Coordinator.Barrier in
+  let async_s, async_digest = timed S.Coordinator.Async in
+  Unix.putenv "HEALER_SHARD_SKEW_MS" "0";
+  let base_digest =
+    S.Shard_state.digest out.S.Coordinator.final.S.Checkpoint.state
+  in
+  if not (String.equal barrier_digest async_digest && String.equal base_digest async_digest)
+  then failwith "shard_comms: modes disagree on the final digest";
+  Fmt.pr "@.  barrier vs pipelined under a rotating 120ms straggler@.";
+  Fmt.pr "  %-28s %7.2fs@." "barrier (lockstep) wall" barrier_s;
+  Fmt.pr "  %-28s %7.2fs (digest %s, all modes)@." "async (pipelined) wall"
+    async_s async_digest;
+  shard_comms_stats :=
+    Some (bytes_full, bytes_incr, steady_full, steady_incr, barrier_s, async_s)
+
+(* The serve path end to end: N shards, pipelined CRDT merges. Same
+   total virtual budget per shard at every width, so the rows show
+   what adding shards buys (coverage, crashes) and costs (merge
    overhead). The digest column makes nondeterminism across widths
-   immediately visible: same jobs, same digest, always. Runs the
-   in-process sequential oracle — Unix.fork is unavailable once the
-   prefetch has spawned domains — which the service test suite and the
-   @shard-smoke gate prove bit-identical to the forked path. *)
+   immediately visible: same jobs, same digest, always. Scaling rows
+   run the in-process oracle (deterministic timing); the comms rows
+   fork real workers, which is why this section runs before the
+   prefetch pool spawns domains (fork is unsafe afterwards). *)
 let shard_smoke () =
   section "Sharded campaign scaling (serve)";
   let module S = Healer_service in
@@ -895,7 +976,49 @@ let shard_smoke () =
         crashes dt (S.Shard_state.digest st);
       shard_results :=
         (jobs, dt, execs, cov, corp, edges, crashes) :: !shard_results)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  shard_comms ()
+
+(* ---- wire endpoint micro-benchmark ---- *)
+
+(* ns and bytes per framed send+recv roundtrip over a pipe, using the
+   reusable endpoint buffers (the serve hot path). *)
+let wire_stats : (float * float) option ref = ref None
+
+let wire_micro () =
+  section "Wire endpoint overhead";
+  let module S = Healer_service in
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let epr = S.Wire.endpoint r and epw = S.Wire.endpoint w in
+      let payload = String.make 512 'x' in
+      let roundtrip () =
+        S.Wire.send_string epw S.Wire.Delta payload;
+        ignore (S.Wire.recv epr)
+      in
+      for _ = 1 to 1_000 do
+        roundtrip ()
+      done;
+      let n = 50_000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to n do
+        roundtrip ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let ns = dt *. 1e9 /. float_of_int n in
+      let bytes =
+        float_of_int (S.Wire.bytes_out epw)
+        /. float_of_int (S.Wire.frames_out epw)
+      in
+      Fmt.pr "  %-30s %11.1f ns/frame, %.1f bytes/frame@."
+        "send+recv (512B payload)" ns bytes;
+      wire_stats := Some (ns, bytes);
+      micro_results :=
+        !micro_results @ [ ("wire send+recv (512B frame)", ns) ])
 
 (* ---- main ---- *)
 
@@ -906,6 +1029,7 @@ let sections =
     ("ablation", ablation); ("micro", micro); ("cache", cache_smoke);
     ("lockdep", lockdep_smoke); ("effects", effects_smoke);
     ("compiled", compiled_smoke); ("shard", shard_smoke);
+    ("wire", wire_micro);
   ]
 
 (* ---- machine-readable results (--json) ---- *)
@@ -965,6 +1089,24 @@ let write_json ~jobs ~section_times () =
            "{\"jobs\": %d, \"seconds\": %.3f, \"execs\": %d, \"coverage\": \
             %d, \"corpus\": %d, \"relations\": %d, \"crashes\": %d}"
            jobs dt execs cov corp edges crashes));
+  (match !shard_comms_stats with
+  | Some (bytes_full, bytes_incr, steady_full, steady_incr, barrier_s, async_s)
+    ->
+    let wire_ns, wire_bytes =
+      match !wire_stats with Some (n, b) -> (n, b) | None -> (0.0, 0.0)
+    in
+    field
+      "\"shard_comms\": {\"bytes_full\": %d, \"bytes_incremental\": %d, \
+       \"ratio\": %.1f, \"steady_bytes_full\": %d, \
+       \"steady_bytes_incremental\": %d, \"steady_ratio\": %.1f, \
+       \"barrier_seconds\": %.3f, \"async_seconds\": %.3f, \
+       \"wire_ns_per_frame\": %.1f, \"wire_bytes_per_frame\": %.1f}"
+      bytes_full bytes_incr
+      (float_of_int bytes_full /. float_of_int (max 1 bytes_incr))
+      steady_full steady_incr
+      (float_of_int steady_full /. float_of_int (max 1 steady_incr))
+      barrier_s async_s wire_ns wire_bytes
+  | None -> field "\"shard_comms\": null");
   field ~last:true "%s"
     (obj_list "micro" !micro_results (fun (name, ns) ->
          Printf.sprintf "{\"name\": %S, \"ns_per_run\": %.1f}" name ns));
@@ -984,18 +1126,25 @@ let () =
   in
   Fmt.pr "HEALER reproduction benches: rounds=%d, %.0f virtual hours per campaign@."
     rounds hours;
-  prefetch requested;
   let section_times = ref [] in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f ->
-        let t0 = Unix.gettimeofday () in
-        f ();
-        section_times := (name, Unix.gettimeofday () -. t0) :: !section_times
-      | None ->
-        Fmt.epr "unknown section %s (available: %s)@." name
-          (String.concat ", " (List.map fst sections)))
-    requested;
+  let run_section name =
+    match List.assoc_opt name sections with
+    | Some f ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      section_times := (name, Unix.gettimeofday () -. t0) :: !section_times
+    | None ->
+      Fmt.epr "unknown section %s (available: %s)@." name
+        (String.concat ", " (List.map fst sections))
+  in
+  (* The shard section forks real worker processes, and Unix.fork is
+     unsafe once the prefetch pool has spawned domains — so it (and
+     the tiny wire micro) runs first. *)
+  let fork_first, pooled =
+    List.partition (fun n -> n = "shard" || n = "wire") requested
+  in
+  List.iter run_section fork_first;
+  prefetch pooled;
+  List.iter run_section pooled;
   if json then
     write_json ~jobs:(Campaign.default_jobs ()) ~section_times:!section_times ()

@@ -801,8 +801,26 @@ let pp_shard_state ppf (s : Service.Shard_state.t) =
     s.Service.Shard_state.crashes;
   Fmt.pf ppf "  state digest      %s@." (Service.Shard_state.digest s)
 
+let status_line (p : Service.Coordinator.progress) =
+  let s = p.Service.Coordinator.state in
+  Printf.sprintf
+    "{\"epoch\":%d,\"epochs\":%d,\"execs\":%d,\"coverage\":%d,\"corpus\":%d,\
+     \"relations\":%d,\"crashes\":%d,\"respawns\":%d,\"bytes_sent\":%d,\
+     \"bytes_recv\":%d,\"digest\":%S,\"updated\":%.0f}"
+    (p.Service.Coordinator.epoch + 1)
+    p.Service.Coordinator.epochs
+    (Service.Shard_state.total_execs s)
+    (Healer_util.Bitset.count s.Service.Shard_state.coverage)
+    (List.length s.Service.Shard_state.corpus)
+    (Relation_table.count s.Service.Shard_state.relations)
+    (List.length s.Service.Shard_state.crashes)
+    p.Service.Coordinator.respawns p.Service.Coordinator.bytes_sent
+    p.Service.Coordinator.bytes_recv
+    (Service.Shard_state.digest s)
+    (Unix.time ())
+
 let run_serve tool version hours seed jobs epochs checkpoint resume no_fork
-    stop_after =
+    stop_after barrier watch status_json =
   or_die @@ fun () ->
   if jobs < 1 then failwith "--jobs must be at least 1";
   if epochs < 1 then failwith "--epochs must be at least 1";
@@ -843,6 +861,33 @@ let run_serve tool version hours seed jobs epochs checkpoint resume no_fork
     (cfg.Service.Checkpoint.slice /. 3600.0)
     cfg.Service.Checkpoint.base_seed
     (if no_fork then ", sequential" else "");
+  (* Live status: a one-line JSON snapshot per closed front, written
+     atomically so `healer shard-status` (or any dashboard) can poll
+     it without ever observing a torn file. --watch throttles the
+     cadence; with no file to write, the line goes to stdout. *)
+  let status_path =
+    match (status_json, checkpoint) with
+    | Some f, _ -> Some f
+    | None, Some dir when watch <> None ->
+      Some (Filename.concat dir "status.json")
+    | _ -> None
+  in
+  let last_status = ref neg_infinity in
+  let emit_status p =
+    if status_path <> None || watch <> None then begin
+      let now = Unix.gettimeofday () in
+      let due =
+        match watch with None -> true | Some s -> now -. !last_status >= s
+      in
+      if due then begin
+        last_status := now;
+        let line = status_line p in
+        match status_path with
+        | Some path -> Persist.write_atomic ~path (line ^ "\n")
+        | None -> Fmt.pr "%s@." line
+      end
+    end
+  in
   let on_epoch (p : Service.Coordinator.progress) =
     Fmt.pr "epoch %d/%d: coverage=%d corpus=%d relations=%d crashes=%d execs=%d@."
       (p.Service.Coordinator.epoch + 1)
@@ -853,13 +898,34 @@ let run_serve tool version hours seed jobs epochs checkpoint resume no_fork
       (Relation_table.count
          p.Service.Coordinator.state.Service.Shard_state.relations)
       (List.length p.Service.Coordinator.state.Service.Shard_state.crashes)
-      (Service.Shard_state.total_execs p.Service.Coordinator.state)
+      (Service.Shard_state.total_execs p.Service.Coordinator.state);
+    emit_status p
+  in
+  let mode =
+    if barrier then Service.Coordinator.Barrier else Service.Coordinator.Async
   in
   let outcome =
-    Service.Coordinator.run ~forked:(not no_fork)
+    Service.Coordinator.run ~forked:(not no_fork) ~mode
       ?checkpoint_dir:checkpoint ?stop_after ~on_epoch ck
   in
   let final = outcome.Service.Coordinator.final in
+  (* The throttle may have swallowed the last front; always leave the
+     final state on disk. *)
+  (match status_path with
+  | Some path when final.Service.Checkpoint.completed > 0 ->
+    Persist.write_atomic ~path
+      (status_line
+         {
+           Service.Coordinator.epoch = final.Service.Checkpoint.completed - 1;
+           epochs = final.Service.Checkpoint.config.Service.Checkpoint.epochs;
+           state = final.Service.Checkpoint.state;
+           respawns = outcome.Service.Coordinator.respawns;
+           bytes_sent = outcome.Service.Coordinator.bytes_sent;
+           bytes_recv = outcome.Service.Coordinator.bytes_recv;
+           bytes_full = outcome.Service.Coordinator.bytes_full;
+         }
+       ^ "\n")
+  | _ -> ());
   if final.Service.Checkpoint.completed
      < final.Service.Checkpoint.config.Service.Checkpoint.epochs
   then
@@ -868,6 +934,12 @@ let run_serve tool version hours seed jobs epochs checkpoint resume no_fork
       final.Service.Checkpoint.config.Service.Checkpoint.epochs;
   if outcome.Service.Coordinator.respawns > 0 then
     Fmt.pr "worker deaths recovered: %d@." outcome.Service.Coordinator.respawns;
+  if not no_fork then
+    Fmt.pr "wire traffic: %d bytes out / %d bytes in (%d+%d frames)@."
+      outcome.Service.Coordinator.bytes_sent
+      outcome.Service.Coordinator.bytes_recv
+      outcome.Service.Coordinator.frames_sent
+      outcome.Service.Coordinator.frames_recv;
   Fmt.pr "%a" pp_shard_state final.Service.Checkpoint.state
 
 let checkpoint_arg =
@@ -883,10 +955,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a sharded fuzzing campaign: one worker process per shard, \
-          epoch-barrier synchronization of relations, coverage, corpus and \
-          crashes via CRDT merge, durable checkpoints, automatic respawn of \
-          dead workers. $(b,--hours) is the virtual time each shard fuzzes \
-          per epoch.")
+          pipelined (barrier-free) synchronization of relations, coverage, \
+          corpus and crashes via incremental CRDT deltas, durable \
+          checkpoints, automatic respawn of dead workers. $(b,--hours) is \
+          the virtual time each shard fuzzes per epoch; results are \
+          bit-identical with and without $(b,--barrier).")
     Term.(
       const run_serve $ tool_arg $ version_arg
       $ Arg.(
@@ -920,7 +993,30 @@ let serve_cmd =
           & info [ "stop-after-epoch" ] ~docv:"N"
               ~doc:
                 "Shut down cleanly once N epochs have completed — simulates \
-                 an interrupted daemon for resume testing."))
+                 an interrupted daemon for resume testing.")
+      $ Arg.(
+          value & flag
+          & info [ "barrier" ]
+              ~doc:
+                "Lockstep determinism oracle: wait for every shard's epoch \
+                 before dispatching the next. Same schedule, same deltas, \
+                 same final digest as the default pipelined mode — only \
+                 slower under stragglers.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "watch" ] ~docv:"SECS"
+              ~doc:
+                "Emit a one-line JSON status at most every SECS seconds \
+                 (to $(b,--status-json), to \
+                 $(b,--checkpoint)/status.json, or to stdout).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "status-json" ] ~docv:"FILE"
+              ~doc:
+                "Write the one-line JSON status to FILE (atomic \
+                 write-then-rename) after every merged epoch."))
 
 let run_merge a b output =
   or_die @@ fun () ->
@@ -971,6 +1067,22 @@ let run_shard_status path equal =
     (cfg.Service.Checkpoint.slice /. 3600.0)
     cfg.Service.Checkpoint.base_seed;
   Fmt.pr "%a" pp_shard_state ck.Service.Checkpoint.state;
+  (* A serve --watch daemon leaves a live status line beside the
+     checkpoint; surface it (wire counters, respawns, freshness). *)
+  (let status =
+     Filename.concat
+       (if Sys.file_exists path && Sys.is_directory path then path
+        else Filename.dirname path)
+       "status.json"
+   in
+   if Sys.file_exists status then
+     let ic = open_in_bin status in
+     Fun.protect
+       ~finally:(fun () -> close_in ic)
+       (fun () ->
+         match input_line ic with
+         | line -> Fmt.pr "  live status       %s@." line
+         | exception End_of_file -> ()));
   match equal with
   | None -> ()
   | Some other ->

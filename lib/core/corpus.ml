@@ -25,7 +25,9 @@ let grow t =
 let add t prog ~new_blocks =
   if Prog.length prog = 0 then false
   else begin
-    let key = Serializer.encode prog in
+    (* Dedup on a 16-byte digest of the canonical encoding instead of
+       retaining the whole encoded string per entry. *)
+    let key = Digest.string (Serializer.encode prog) in
     if Hashtbl.mem t.keys key then false
     else begin
       Hashtbl.add t.keys key ();

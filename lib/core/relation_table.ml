@@ -80,6 +80,12 @@ let merge a b =
   ignore (merge_into ~dst:t b);
   t
 
+let iter_new ~base f t =
+  if base.n <> t.n then invalid_arg "Relation_table.iter_new: size mismatch";
+  Array.iteri
+    (fun i js -> List.iter (fun j -> if not (get base i j) then f i j) js)
+    t.succ
+
 let out_degree t i =
   check t i 0;
   List.length t.succ.(i)

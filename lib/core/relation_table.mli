@@ -45,6 +45,12 @@ val merge : t -> t -> t
     join: commutative, associative, idempotent, with the empty table
     as identity. Raises [Invalid_argument] on size mismatch. *)
 
+val iter_new : base:t -> (int -> int -> unit) -> t -> unit
+(** [iter_new ~base f t] calls [f i j] for every edge of [t] absent
+    from [base] — the edge difference [t \ base], the unit shipped by
+    incremental shard-state diffs. Unordered. Raises
+    [Invalid_argument] on size mismatch. *)
+
 val out_degree : t -> int -> int
 
 val pp_stats : Format.formatter -> t -> unit

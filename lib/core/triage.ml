@@ -92,6 +92,8 @@ let keeps a b =
       in
       if c <> 0 then c < 0 else String.compare a.bug_key b.bug_key <= 0
 
+let preferred = keeps
+
 let merge_records_by ~key lists =
   let best : (string, record) Hashtbl.t = Hashtbl.create 32 in
   List.iter

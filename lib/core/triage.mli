@@ -47,6 +47,14 @@ val merge_records : record list list -> record list
 (** {!merge_records_by} keyed on the triage [signature] — the dedup
     unit sharded campaign coordinators union across workers. *)
 
+val preferred : record -> record -> bool
+(** [preferred a b] is true when a merge keeps [a] over [b] for the
+    same dedup key: the total order behind {!merge_records} (earliest
+    [first_found], then smallest reproducer, then its encoding, then
+    [bug_key]). [preferred a a] is true, so a record never beats an
+    equal one — incremental diffs use this to ship only records that
+    strictly improve on the receiver's. *)
+
 val found : t -> string -> record option
 (** Lookup by bug key. *)
 

@@ -13,12 +13,21 @@ type config = {
   slice : float;
 }
 
-type t = { config : config; completed : int; state : Shard_state.t }
+type t = {
+  config : config;
+  completed : int;
+  state : Shard_state.t;
+  prev : Shard_state.t;
+}
 
 let magic = "HLRCKP"
-let format_version = '\001'
+let format_version = '\002'
 let file dir = Filename.concat dir "healer.ckpt"
 
+(* v2 stores the last two completed fronts (the pipelined schedule
+   seeds epoch [e] from front [e-2], so exact resume needs both), the
+   older as a full blob and the newer as its diff — the increment is
+   cheap to store for the same reason it is cheap to ship. *)
 let to_string t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -30,7 +39,9 @@ let to_string t =
   Wire.put_int buf t.config.epochs;
   Wire.put_float buf t.config.slice;
   Wire.put_int buf t.completed;
-  Buffer.add_string buf (Shard_state.to_string t.state);
+  Wire.put_str buf (Shard_state.to_string t.prev);
+  Buffer.add_string buf
+    (Shard_state.to_string (Shard_state.diff ~since:t.prev t.state));
   Buffer.contents buf
 
 let tool_of_name name =
@@ -74,8 +85,15 @@ let of_string target s =
   let completed = Wire.get_int s pos in
   if jobs < 1 || epochs < 0 || completed < 0 || completed > epochs then
     raise (Malformed "implausible campaign configuration");
-  let state = Shard_state.of_string target (Wire.get_all s pos) in
-  { config = { tool; version; jobs; base_seed; epochs; slice }; completed; state }
+  let prev = Shard_state.of_string target (Wire.get_str s pos) in
+  let incr = Shard_state.of_string target (Wire.get_all s pos) in
+  let state = Shard_state.merge prev incr in
+  {
+    config = { tool; version; jobs; base_seed; epochs; slice };
+    completed;
+    state;
+    prev;
+  }
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -112,4 +130,5 @@ let merge a b =
       };
     completed = max a.completed b.completed;
     state = Shard_state.merge a.state b.state;
+    prev = Shard_state.merge a.prev b.prev;
   }

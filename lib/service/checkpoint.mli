@@ -4,10 +4,12 @@
     every epoch so a [healer serve] daemon can be killed at any point
     and resume without losing learned relations.
 
-    On-disk format: the magic ["HLRCKP"], one version byte (forward
-    compatibility: loaders reject versions they do not understand
-    instead of misparsing), the configuration, the number of completed
-    epochs, then the canonical state blob. *)
+    On-disk format (v2): the magic ["HLRCKP"], one version byte
+    (forward compatibility: loaders reject versions they do not
+    understand instead of misparsing), the configuration, the number
+    of completed epochs, then the two newest completed fronts — the
+    older as a full canonical state blob, the newer as its
+    {!Shard_state.diff} (reconstructed by merge on load). *)
 
 exception Malformed of string
 (** Truncated or corrupt checkpoint files (including unsupported
@@ -22,7 +24,16 @@ type config = {
   slice : float;  (** Virtual seconds each shard fuzzes per epoch. *)
 }
 
-type t = { config : config; completed : int; state : Shard_state.t }
+type t = {
+  config : config;
+  completed : int;
+  state : Shard_state.t;  (** Front [completed - 1]: the join of every
+      shard's deltas through the last globally completed epoch. *)
+  prev : Shard_state.t;  (** Front [completed - 2] — the state that
+      seeds epoch [completed] under the pipelined (lag-2) schedule,
+      required for exact resume. Equals [state] on fresh campaigns.
+      On disk it is stored whole and [state] as its diff. *)
+}
 
 val file : string -> string
 (** [file dir] is the checkpoint file inside a campaign directory. *)

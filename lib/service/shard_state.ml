@@ -17,6 +17,11 @@ type t = {
   execs : (int * int) list;
 }
 
+(* Corpus entries dedup on a 16-byte digest of the canonical encoding;
+   the full serialized form is recomputed only when a state crosses
+   the wire, not retained per entry in memory. *)
+let corpus_key p = Digest.string (Serializer.encode p)
+
 let empty ~n_syscalls =
   {
     n_syscalls;
@@ -29,7 +34,7 @@ let empty ~n_syscalls =
 
 let of_target target = empty ~n_syscalls:(Target.n_syscalls target)
 
-(* Canonical component orders: corpus by serialized key, crashes by
+(* Canonical component orders: corpus by digest key, crashes by
    signature (their dedup unit), counters by shard. *)
 let sort_corpus c =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) c
@@ -84,6 +89,78 @@ let merge a b =
 
 let total_execs t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.execs
 
+(* ---- watermarks and diffs ---- *)
+
+type watermark = {
+  w_relations : int;
+  w_coverage : int;
+  w_corpus : int;
+  w_crashes : int;
+  w_execs : int;
+}
+
+let watermark t =
+  {
+    w_relations = Relation_table.count t.relations;
+    w_coverage = Bitset.count t.coverage;
+    w_corpus = List.length t.corpus;
+    w_crashes = List.length t.crashes;
+    w_execs = total_execs t;
+  }
+
+let is_empty t =
+  Relation_table.count t.relations = 0
+  && Bitset.count t.coverage = 0
+  && t.corpus = [] && t.crashes = [] && t.execs = []
+
+(* A diff is itself a state holding only the components of [t] that
+   [base] lacks (or, for crash records and counters, strictly
+   improves on): merging it into [base] reconstructs [merge base t]
+   exactly — the qcheck law the service suite pins. Bytes shipped are
+   O(new work), not O(total state). *)
+let diff ~since:base t =
+  if base.n_syscalls <> t.n_syscalls then
+    invalid_arg "Shard_state.diff: table size mismatch";
+  let relations = Relation_table.create t.n_syscalls in
+  Relation_table.iter_new ~base:base.relations
+    (fun i j -> ignore (Relation_table.set relations i j))
+    t.relations;
+  let coverage = Bitset.create () in
+  Bitset.iter_diff ~base:base.coverage (Bitset.add coverage) t.coverage;
+  let base_keys = Hashtbl.create (List.length base.corpus) in
+  List.iter (fun (k, _) -> Hashtbl.replace base_keys k ()) base.corpus;
+  let corpus =
+    List.filter (fun (k, _) -> not (Hashtbl.mem base_keys k)) t.corpus
+  in
+  (* Keep the preferred record per signature: the raw base may hold
+     duplicates, and diffing against a worse duplicate would ship
+     records the canonical merge already owns. *)
+  let base_crashes = Hashtbl.create (List.length base.crashes) in
+  List.iter
+    (fun (r : Triage.record) ->
+      match Hashtbl.find_opt base_crashes r.Triage.signature with
+      | Some prev when Triage.preferred prev r -> ()
+      | _ -> Hashtbl.replace base_crashes r.Triage.signature r)
+    base.crashes;
+  let crashes =
+    List.filter
+      (fun (r : Triage.record) ->
+        match Hashtbl.find_opt base_crashes r.Triage.signature with
+        | None -> true
+        | Some prev -> not (Triage.preferred prev r))
+      t.crashes
+  in
+  let base_execs = sort_execs base.execs in
+  let execs =
+    List.filter
+      (fun (s, n) ->
+        match List.assoc_opt s base_execs with
+        | Some m -> n > m
+        | None -> true)
+      (sort_execs t.execs)
+  in
+  { n_syscalls = t.n_syscalls; relations; coverage; corpus; crashes; execs }
+
 (* ---- canonical serialization ---- *)
 
 let put_crash buf (r : Triage.record) =
@@ -93,9 +170,8 @@ let put_crash buf (r : Triage.record) =
   Wire.put_float buf r.Triage.first_found;
   Wire.put_str buf (Serializer.encode r.Triage.reproducer)
 
-let to_string t =
+let put_state buf t =
   let t = canonical t in
-  let buf = Buffer.create 4096 in
   Wire.put_int buf t.n_syscalls;
   let edges = Relation_table.edges t.relations in
   Wire.put_int buf (List.length edges);
@@ -114,7 +190,7 @@ let to_string t =
          id)
        0 cov);
   Wire.put_int buf (List.length t.corpus);
-  List.iter (fun (key, _) -> Wire.put_str buf key) t.corpus;
+  List.iter (fun (_, p) -> Wire.put_str buf (Serializer.encode p)) t.corpus;
   Wire.put_int buf (List.length t.crashes);
   List.iter (put_crash buf) t.crashes;
   Wire.put_int buf (List.length t.execs);
@@ -122,7 +198,11 @@ let to_string t =
     (fun (shard, n) ->
       Wire.put_int buf shard;
       Wire.put_int buf n)
-    t.execs;
+    t.execs
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  put_state buf t;
   Buffer.contents buf
 
 let get_crash target s pos =
@@ -149,10 +229,9 @@ let get_crash target s pos =
     repro_len = Prog.length reproducer;
   }
 
-let of_string target s =
+let get_state target s pos =
   let wrap f = try f () with Wire.Malformed msg -> raise (Malformed msg) in
   wrap @@ fun () ->
-  let pos = ref 0 in
   let n_syscalls = Wire.get_int s pos in
   if n_syscalls <> Target.n_syscalls target then
     raise
@@ -185,7 +264,7 @@ let of_string target s =
     in
     (* Re-key on the canonical encoding in case the stored bytes were
        not (the key is the dedup unit). *)
-    corpus := (Serializer.encode prog, prog) :: !corpus
+    corpus := (corpus_key prog, prog) :: !corpus
   done;
   let n_crashes = Wire.get_int s pos in
   let crashes = ref [] in
@@ -199,7 +278,6 @@ let of_string target s =
     let n = Wire.get_int s pos in
     execs := (shard, n) :: !execs
   done;
-  if !pos <> String.length s then raise (Malformed "trailing bytes");
   canonical
     {
       n_syscalls;
@@ -209,6 +287,12 @@ let of_string target s =
       crashes = !crashes;
       execs = !execs;
     }
+
+let of_string target s =
+  let pos = ref 0 in
+  let t = get_state target s pos in
+  if !pos <> String.length s then raise (Malformed "trailing bytes");
+  t
 
 let equal a b = String.equal (to_string a) (to_string b)
 let digest t = Digest.to_hex (Digest.string (to_string t))
@@ -222,12 +306,15 @@ let apply g (d : delta) =
   let contrib = { d.outcome with execs = [ (d.shard, prev + d.d_execs) ] } in
   merge g contrib
 
-let delta_to_string d =
-  let buf = Buffer.create 4096 in
+let put_delta buf d =
   Wire.put_int buf d.shard;
   Wire.put_int buf d.epoch;
   Wire.put_int buf d.d_execs;
-  Buffer.add_string buf (to_string { d.outcome with execs = [] });
+  put_state buf { d.outcome with execs = [] }
+
+let delta_to_string d =
+  let buf = Buffer.create 4096 in
+  put_delta buf d;
   Buffer.contents buf
 
 let delta_of_string target s =

@@ -7,7 +7,7 @@
 
     - learned relations: grow-only edge set ({!Relation_table.merge});
     - coverage: grow-only branch-id set (bitset union);
-    - corpus: grow-only program set, deduplicated by serialized form;
+    - corpus: grow-only program set, deduplicated by encoding digest;
     - crashes: per-signature register resolved by
       {!Healer_core.Triage.merge_records} (earliest discovery wins,
       deterministic tie-breaks);
@@ -15,7 +15,12 @@
 
     Serialization is canonical — equal states produce identical bytes
     regardless of the merge order that built them — so checkpoint
-    files diff cleanly and state equality is a string compare. *)
+    files diff cleanly and state equality is a string compare.
+
+    States also support {e incremental} exchange: {!diff} computes the
+    sparse state a peer at [since] is missing, and merging that diff
+    into the peer's state reconstructs the full join — the service's
+    wire traffic is O(new work) instead of O(total state). *)
 
 exception Malformed of string
 (** Raised by the decoders on truncated or corrupt input (a
@@ -26,11 +31,16 @@ type t = {
   relations : Healer_core.Relation_table.t;
   coverage : Healer_util.Bitset.t;
   corpus : (string * Healer_executor.Prog.t) list;
-      (** [(serialized form, program)], sorted by key, no duplicates. *)
+      (** [(digest of canonical encoding, program)], sorted by key, no
+          duplicates. The full encoding is recomputed only when a
+          state crosses the wire, never retained per entry. *)
   crashes : Healer_core.Triage.record list;  (** Sorted by signature. *)
   execs : (int * int) list;  (** [(shard, execs)] counters, sorted. *)
 }
 (** Treat values as immutable: [merge] never mutates its inputs. *)
+
+val corpus_key : Healer_executor.Prog.t -> string
+(** The corpus dedup key: a 16-byte digest of the canonical encoding. *)
 
 val empty : n_syscalls:int -> t
 val of_target : Healer_syzlang.Target.t -> t
@@ -44,7 +54,45 @@ val digest : t -> string
 
 val total_execs : t -> int
 
+(** {2 Incremental diffs}
+
+    Per-component watermarks and set differences, so shard state can
+    be exchanged as what-the-peer-is-missing instead of
+    everything-from-scratch. *)
+
+type watermark = {
+  w_relations : int;
+  w_coverage : int;
+  w_corpus : int;
+  w_crashes : int;
+  w_execs : int;
+}
+(** Per-component progress counters — each is monotone under {!merge},
+    so comparing watermarks is a cheap dirty check. *)
+
+val watermark : t -> watermark
+
+val diff : since:t -> t -> t
+(** [diff ~since:base t] is the sparse state holding exactly what
+    [base] lacks from [t]: relation edges and coverage ids of [t] not
+    in [base], corpus entries with unseen keys, crash records that
+    strictly beat [base]'s for their signature
+    ({!Healer_core.Triage.preferred}), and counters that increased.
+    The defining law, pinned by qcheck in the service suite:
+
+    [merge base (diff ~since:base t) == merge base t]
+
+    and [diff ~since:t t] {!is_empty}. Raises [Invalid_argument] on
+    [n_syscalls] mismatch. *)
+
+val is_empty : t -> bool
+(** True when every component is empty — e.g. a {!diff} against a
+    state that already dominates [t]. *)
+
 val to_string : t -> string
+val put_state : Buffer.t -> t -> unit
+(** [to_string] through a caller-supplied (reusable) buffer. *)
+
 val of_string : Healer_syzlang.Target.t -> string -> t
 (** Raises {!Malformed}. Validates [n_syscalls] against the target. *)
 
@@ -54,7 +102,12 @@ type delta = {
   shard : int;
   epoch : int;
   d_execs : int;  (** Executions spent by this shard this epoch. *)
-  outcome : t;  (** The worker's end-of-epoch state ([execs] empty). *)
+  outcome : t;
+      (** What the shard found: its end-of-epoch state in sequential
+          mode, or the {!diff} of it against the shard's base view in
+          forked mode — {!apply} folds both to the same result, since
+          the base is always part of the coordinator's state already
+          ([execs] empty either way). *)
 }
 
 val apply : t -> delta -> t
@@ -64,5 +117,6 @@ val apply : t -> delta -> t
     set-valued components would be idempotent anyway. *)
 
 val delta_to_string : delta -> string
+val put_delta : Buffer.t -> delta -> unit
 val delta_of_string : Healer_syzlang.Target.t -> string -> delta
 (** Raises {!Malformed}. *)

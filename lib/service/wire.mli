@@ -16,13 +16,44 @@ type tag =
   | Delta  (** worker -> coordinator: end-of-epoch shard delta *)
   | Quit  (** coordinator -> worker: shut down cleanly *)
 
-val send_frame : Unix.file_descr -> tag -> string -> unit
-(** Raises [Unix.Unix_error (EPIPE, _, _)] when the peer is gone
-    (the service layer disables [SIGPIPE]). *)
+(** {2 Endpoints}
 
-val recv_frame : Unix.file_descr -> tag * string
+    A per-connection handle holding reusable scratch buffers: the
+    frame-encode buffer and the assembly/receive bytes persist across
+    frames, so the steady-state hot path performs one [write] per sent
+    frame and allocates only the decoded payload string per received
+    frame. Also counts bytes and frames in each direction — the
+    coordinator surfaces these through its outcome and the status
+    JSON. *)
+
+type endpoint
+
+val endpoint : Unix.file_descr -> endpoint
+
+val send : endpoint -> tag -> (Buffer.t -> unit) -> unit
+(** [send ep tag encode] runs [encode] against the endpoint's reused
+    buffer and writes the assembled frame with a single [write].
+    Raises [Unix.Unix_error (EPIPE, _, _)] when the peer is gone (the
+    service layer disables [SIGPIPE]). *)
+
+val send_string : endpoint -> tag -> string -> unit
+
+val recv : endpoint -> tag * string
 (** Blocking. Raises [End_of_file] on a closed peer, {!Malformed} on
     garbage. *)
+
+val bytes_out : endpoint -> int
+val bytes_in : endpoint -> int
+val frames_out : endpoint -> int
+val frames_in : endpoint -> int
+
+(** {2 One-shot framing}
+
+    Conveniences over a throwaway endpoint — shutdown paths and tests;
+    hot loops should hold an {!endpoint}. *)
+
+val send_frame : Unix.file_descr -> tag -> string -> unit
+val recv_frame : Unix.file_descr -> tag * string
 
 (** {2 Payload primitives}
 

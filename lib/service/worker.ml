@@ -30,7 +30,7 @@ let run_epoch (cfg : Checkpoint.config) ~shard ~epoch (g : Shard_state.t) =
   let epoch_start = float_of_int epoch *. cfg.slice in
   let corpus = ref [] in
   Corpus.iter
-    (fun p -> corpus := (Serializer.encode p, p) :: !corpus)
+    (fun p -> corpus := (Shard_state.corpus_key p, p) :: !corpus)
     (Fuzzer.corpus f);
   let relations =
     match Fuzzer.relations f with
@@ -53,18 +53,50 @@ let run_epoch (cfg : Checkpoint.config) ~shard ~epoch (g : Shard_state.t) =
   in
   { Shard_state.shard; epoch; d_execs = Fuzzer.execs f; outcome }
 
+(* Bench/test-only straggler simulation: when HEALER_SHARD_SKEW_MS is
+   a positive integer, the shard whose turn it is ((epoch + shard) mod
+   jobs = 0) sleeps that long before answering — a deterministic
+   rotating slow shard that leaves results untouched but shows what
+   the pipelined coordinator buys over the barrier. *)
+let skew_ms =
+  lazy
+    (match Sys.getenv_opt "HEALER_SHARD_SKEW_MS" with
+    | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 0)
+    | None -> 0)
+
+let skew_sleep (cfg : Checkpoint.config) ~shard ~epoch =
+  let ms = Lazy.force skew_ms in
+  if ms > 0 && (epoch + shard) mod cfg.jobs = 0 then
+    Unix.sleepf (float_of_int ms /. 1000.0)
+
 let serve (cfg : Checkpoint.config) ~shard ~input ~output =
   let target = Healer_kernel.Kernel.target () in
+  let inp = Wire.endpoint input and out = Wire.endpoint output in
+  (* The worker's base view of the merged global state: grown only by
+     the coordinator's incremental diffs, versioned by their count so
+     a desync is caught instead of silently diverging. The fuzzing
+     outcome is shipped back as a diff against this base — O(what this
+     slice discovered) bytes, not O(total state). *)
+  let base = ref (Shard_state.of_target target) in
+  let version = ref 0 in
   let rec loop () =
-    match Wire.recv_frame input with
+    match Wire.recv inp with
     | Wire.Quit, _ -> Unix._exit 0
     | Wire.Delta, _ -> Unix._exit 3
     | Wire.Epoch, payload ->
       let pos = ref 0 in
       let epoch = Wire.get_int payload pos in
-      let g = Shard_state.of_string target (Wire.get_all payload pos) in
-      let d = run_epoch cfg ~shard ~epoch g in
-      Wire.send_frame output Wire.Delta (Shard_state.delta_to_string d);
+      let ver = Wire.get_int payload pos in
+      if ver <> !version then Unix._exit 3;
+      let d = Shard_state.of_string target (Wire.get_all payload pos) in
+      if not (Shard_state.is_empty d) then base := Shard_state.merge !base d;
+      incr version;
+      let d = run_epoch cfg ~shard ~epoch !base in
+      let d =
+        { d with Shard_state.outcome = Shard_state.diff ~since:!base d.outcome }
+      in
+      skew_sleep cfg ~shard ~epoch;
+      Wire.send out Wire.Delta (fun buf -> Shard_state.put_delta buf d);
       loop ()
   in
   try loop () with

@@ -1,13 +1,16 @@
 (** One shard of a sharded campaign.
 
-    A worker is {e restartable per epoch}: each epoch it builds a
-    fresh {!Healer_core.Fuzzer} from (config, shard, epoch, merged
-    global state), fuzzes for one time slice, and ships its complete
-    end-of-epoch state back as a {!Shard_state.delta}. No worker state
-    survives an epoch except through the coordinator's merged state,
-    which is what makes checkpoint/resume and death/respawn exact: a
-    respawned worker re-running an epoch produces byte-identical
-    output. *)
+    A worker is {e restartable per slice}: each epoch it builds a
+    fresh {!Healer_core.Fuzzer} from (config, shard, epoch, base
+    view), fuzzes for one time slice, and ships what it found back as
+    an incremental {!Shard_state.delta}. The base view is the merged
+    global state as of the schedule's front for that epoch,
+    reconstructed purely from the coordinator's versioned diffs —
+    so the only worker state that survives a slice is a deterministic
+    function of what the coordinator sent, which is what makes
+    checkpoint/resume and death/respawn exact: a respawned worker
+    (re-seeded with a full diff against the empty state) re-running an
+    epoch produces byte-identical output. *)
 
 val seed_for : Checkpoint.config -> shard:int -> epoch:int -> int
 (** Deterministic per-(shard, epoch) RNG seed. *)
@@ -16,12 +19,16 @@ val run_epoch :
   Checkpoint.config -> shard:int -> epoch:int -> Shard_state.t ->
   Shard_state.delta
 (** Pure with respect to its arguments: seeds a fresh fuzzer with the
-    merged relations and corpus, runs one slice, harvests the
-    outcome. *)
+    base view's relations and corpus, runs one slice, harvests the
+    {e full} outcome (callers diff it against the base when shipping
+    it over a wire). *)
 
 val serve : Checkpoint.config -> shard:int -> input:Unix.file_descr ->
   output:Unix.file_descr -> 'a
-(** Child-process loop: receive [Epoch] frames, answer with [Delta]
-    frames, exit on [Quit] or peer EOF. Never returns — terminates the
-    process via [Unix._exit] (skipping [at_exit], which belongs to the
-    parent). *)
+(** Child-process loop: receive versioned incremental [Epoch] frames
+    (epoch index, base-version check, state diff), fold them into the
+    base view, answer with incremental [Delta] frames, exit on [Quit],
+    peer EOF, or a version desync. Honors the HEALER_SHARD_SKEW_MS
+    straggler knob (bench/tests only — sleeps, never changes
+    results). Never returns — terminates the process via [Unix._exit]
+    (skipping [at_exit], which belongs to the parent). *)

@@ -81,6 +81,22 @@ let iter f t =
 
 let union_into ~dst src = iter (fun i -> add dst i) src
 
+let iter_diff ~base f t =
+  (* Byte-wise and-not against [base]; bytes beyond [base]'s length
+     compare against zero. *)
+  let blen = Bytes.length base.bits in
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let v = Char.code (Bytes.get t.bits byte) in
+    if v <> 0 then begin
+      let b = if byte < blen then Char.code (Bytes.get base.bits byte) else 0 in
+      let fresh = v land lnot b in
+      if fresh <> 0 then
+        for bit = 0 to 7 do
+          if fresh land (1 lsl bit) <> 0 then f ((byte * 8) + bit)
+        done
+    end
+  done
+
 let copy t = { bits = Bytes.copy t.bits; card = t.card }
 
 let clear t =

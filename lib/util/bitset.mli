@@ -23,6 +23,11 @@ val new_of : t -> int list -> int list
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] adds every element of [src] to [dst]. *)
 
+val iter_diff : base:t -> (int -> unit) -> t -> unit
+(** [iter_diff ~base f t] calls [f] on every element of [t] that is
+    absent from [base], in increasing order — the set difference
+    [t \ base], without materializing it. *)
+
 val copy : t -> t
 val clear : t -> unit
 val iter : (int -> unit) -> t -> unit

@@ -84,7 +84,7 @@ let gen_state =
        S.Shard_state.n_syscalls = n_syscalls ();
        relations;
        coverage;
-       corpus = List.map (fun p -> (Serializer.encode p, p)) progs;
+       corpus = List.map (fun p -> (S.Shard_state.corpus_key p, p)) progs;
        crashes;
        execs;
      })
@@ -138,6 +138,34 @@ let state_props =
       (pair gen_state gen_state)
       (fun (a, b) ->
         String.equal (S.Shard_state.digest (a <+> b)) (S.Shard_state.digest (b <+> a)));
+  ]
+
+(* The incremental-protocol laws: a diff is a sparse state that, merged
+   back into its base, reconstructs exactly what shipping the full
+   state would have. *)
+let diff_props =
+  let open QCheck2.Gen in
+  let diff = S.Shard_state.diff in
+  [
+    qcheck ~count:100 "apply law: merge base (diff base s) == merge base s"
+      (pair gen_state gen_state)
+      (fun (base, s) -> eq (base <+> diff ~since:base s) (base <+> s));
+    qcheck ~count:100 "self diff is empty" gen_state (fun a ->
+        S.Shard_state.is_empty (diff ~since:a a));
+    qcheck ~count:100 "diff against a superset is empty"
+      (pair gen_state gen_state)
+      (fun (a, b) -> S.Shard_state.is_empty (diff ~since:(a <+> b) a));
+    qcheck ~count:100 "diff applies idempotently" (pair gen_state gen_state)
+      (fun (base, s) ->
+        let d = diff ~since:base s in
+        eq (base <+> d <+> d) (base <+> d));
+    qcheck ~count:100 "diff survives the wire" (pair gen_state gen_state)
+      (fun (base, s) ->
+        let d =
+          S.Shard_state.of_string (tgt ())
+            (S.Shard_state.to_string (diff ~since:base s))
+        in
+        eq (base <+> d) (base <+> s));
   ]
 
 let relation_props =
@@ -341,8 +369,8 @@ let with_tmpdir f =
   Unix.mkdir dir 0o700;
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let run ?forked ?checkpoint_dir ?stop_after ?chaos cfg_or_ck =
-  S.Coordinator.run ?forked ?checkpoint_dir ?stop_after ?chaos cfg_or_ck
+let run ?forked ?mode ?checkpoint_dir ?stop_after ?chaos cfg_or_ck =
+  S.Coordinator.run ?forked ?mode ?checkpoint_dir ?stop_after ?chaos cfg_or_ck
 
 let test_forked_equals_sequential () =
   let cfg = small_cfg () in
@@ -396,6 +424,83 @@ let test_worker_death_respawn () =
     (out.S.Coordinator.respawns >= 1);
   Alcotest.(check bool) "worker death does not perturb results" true
     (eq baseline.S.Checkpoint.state out.S.Coordinator.final.S.Checkpoint.state)
+
+(* Both forked modes execute the same lag-2 schedule, so the pipelined
+   coordinator must land on the barrier oracle's digest, bit for bit —
+   and both on the in-process oracle's. *)
+let test_async_equals_barrier () =
+  let cfg = small_cfg ~epochs:4 ~jobs:3 () in
+  let digest_of mode =
+    let final =
+      (run ~forked:true ~mode (S.Coordinator.initial cfg)).S.Coordinator.final
+    in
+    Alcotest.(check int) "completed all epochs" cfg.S.Checkpoint.epochs
+      final.S.Checkpoint.completed;
+    S.Shard_state.digest final.S.Checkpoint.state
+  in
+  let async = digest_of S.Coordinator.Async in
+  let barrier = digest_of S.Coordinator.Barrier in
+  let seq =
+    S.Shard_state.digest
+      (run ~forked:false (S.Coordinator.initial cfg)).S.Coordinator.final
+        .S.Checkpoint.state
+  in
+  Alcotest.(check string) "async == barrier" barrier async;
+  Alcotest.(check string) "async == sequential oracle" seq async
+
+(* Killing workers mid-campaign must not perturb the async digest
+   either: respawned workers are re-seeded with a full diff and
+   reproduce the lost slice exactly. *)
+let test_async_chaos_equals_barrier () =
+  let cfg = small_cfg ~epochs:3 () in
+  let baseline =
+    (run ~forked:true ~mode:S.Coordinator.Barrier (S.Coordinator.initial cfg))
+      .S.Coordinator.final
+  in
+  let chaos ~epoch pids =
+    if epoch <= 1 then
+      match List.nth_opt pids (epoch mod List.length pids) with
+      | Some (_, pid) -> Unix.kill pid Sys.sigkill
+      | None -> ()
+  in
+  let out =
+    run ~forked:true ~mode:S.Coordinator.Async ~chaos
+      (S.Coordinator.initial cfg)
+  in
+  Alcotest.(check bool) "deaths were recovered" true
+    (out.S.Coordinator.respawns >= 1);
+  Alcotest.(check string) "chaos async == clean barrier"
+    (S.Shard_state.digest baseline.S.Checkpoint.state)
+    (S.Shard_state.digest out.S.Coordinator.final.S.Checkpoint.state)
+
+(* Truncated or garbled incremental frames must be rejected loudly
+   (Malformed → respawn), never folded as partial state. *)
+let test_incremental_frames_reject_corruption () =
+  let cfg = small_cfg () in
+  let g = S.Shard_state.of_target (tgt ()) in
+  let d = S.Worker.run_epoch cfg ~shard:0 ~epoch:0 g in
+  let full = S.Shard_state.apply g d in
+  let diff_blob =
+    S.Shard_state.to_string (S.Shard_state.diff ~since:g full)
+  in
+  let delta_blob = S.Shard_state.delta_to_string d in
+  let check_rejects what parse blob =
+    List.iter
+      (fun pct ->
+        let len = String.length blob * pct / 100 in
+        if len < String.length blob then
+          match parse (String.sub blob 0 len) with
+          | exception S.Shard_state.Malformed _ -> ()
+          | _ ->
+            Alcotest.fail
+              (Printf.sprintf "accepted %d%% truncated %s frame" pct what))
+      [ 0; 7; 25; 50; 75; 93; 99 ];
+    match parse (blob ^ "\x01") with
+    | exception S.Shard_state.Malformed _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %s trailing garbage" what)
+  in
+  check_rejects "diff" (S.Shard_state.of_string (tgt ())) diff_blob;
+  check_rejects "delta" (S.Shard_state.delta_of_string (tgt ())) delta_blob
 
 (* ---- checkpoint durability ---- *)
 
@@ -462,7 +567,8 @@ let test_checkpoint_merge () =
          (S.Shard_state.merge ab.S.Checkpoint.state b.S.Checkpoint.state))
 
 let suite =
-  state_props @ relation_props @ coverage_props @ corpus_props @ crash_props
+  state_props @ diff_props @ relation_props @ coverage_props @ corpus_props
+  @ crash_props
   @ [
       case "wire primitives roundtrip" test_wire_roundtrip;
       case "wire frames over a pipe" test_wire_frames_over_pipe;
@@ -473,6 +579,11 @@ let suite =
       case "forked == sequential" test_forked_equals_sequential;
       case "interrupted + resumed == uninterrupted" test_interrupted_resume;
       case "worker death: respawn, same results" test_worker_death_respawn;
+      case "pipelined == barrier == sequential" test_async_equals_barrier;
+      case "chaos kills leave the async digest fixed"
+        test_async_chaos_equals_barrier;
+      case "incremental frames reject corruption"
+        test_incremental_frames_reject_corruption;
       case "checkpoint roundtrip" test_checkpoint_roundtrip;
       case "checkpoint rejects corruption" test_checkpoint_rejects_truncation;
       case "mid-write crash keeps previous checkpoint" test_checkpoint_midwrite_crash;
